@@ -1,0 +1,69 @@
+"""Figure 1: the confinement overview.
+
+The figure shows which read/write arrows exist between A, B^A and the
+Priv/Pub/Vol states. The benchmark executes the full flow matrix (11
+attempted flows) on a fresh device and asserts every arrow matches the
+figure — present arrows succeed, absent arrows are blocked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndroidManifest, Device
+from repro.core.audit import figure1_flow_matrix
+
+A = "com.fig1.initiator"
+B = "com.fig1.delegate"
+
+
+class _Nop:
+    def main(self, api, intent):
+        return None
+
+
+@pytest.mark.benchmark(group="fig1-flow-matrix")
+def bench_flow_matrix(benchmark):
+    def run():
+        device = Device(maxoid_enabled=True)
+        device.install(AndroidManifest(package=A), _Nop())
+        device.install(AndroidManifest(package=B), _Nop())
+        device.network.add_host("example.com")
+        return figure1_flow_matrix(device, A, B)
+
+    checks = benchmark(run)
+    assert len(checks) == 11
+    failures = [c for c in checks if not c.ok]
+    assert not failures, failures
+    print("\nFigure 1 flow matrix:")
+    for check in checks:
+        arrow = "allowed" if check.observed else "blocked"
+        print(f"  {check.description}: {arrow} (matches figure: {check.ok})")
+
+
+@pytest.mark.benchmark(group="fig1-flow-matrix")
+def bench_flow_matrix_stock_android(benchmark):
+    """The same attempts on stock Android: the forbidden flows mostly
+    succeed — the motivation for Maxoid. (Delegation does not exist on
+    stock, so instances run unconfined.)"""
+
+    def run():
+        device = Device(maxoid_enabled=False)
+        device.install(AndroidManifest(package=A), _Nop())
+        device.install(AndroidManifest(package=B), _Nop())
+        device.network.add_host("example.com")
+        a = device.spawn(A)
+        b = device.spawn(B)  # "B^A" does not exist on stock; B is unconfined
+        a.write_external("fig1/doc.txt", b"shared secret")
+        b.sys.write_file("/storage/sdcard/fig1/doc.txt", b"overwritten!")
+        overwrote = a.sys.read_file("/storage/sdcard/fig1/doc.txt") == b"overwritten!"
+        reached_network = True
+        try:
+            b.connect("example.com")
+        except Exception:
+            reached_network = False
+        return overwrote, reached_network
+
+    overwrote, reached_network = benchmark(run)
+    assert overwrote, "stock Android lets the helper overwrite in place"
+    assert reached_network, "stock Android gives the helper the network"

@@ -1,0 +1,44 @@
+"""Figure 3: the Maxoid system architecture.
+
+The figure is the component wiring diagram: new/modified components
+(Activity Manager additions, Zygote's branch manager, the kernel context
+tracking, the COW proxy inside system content providers) around stock
+Android. The bench boots a device and asserts every pictured component is
+present and wired, timing cold boot; the stock boot is the baseline
+showing what Maxoid adds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Device
+
+
+@pytest.mark.benchmark(group="fig3-boot")
+def bench_boot_maxoid(benchmark):
+    device = benchmark(Device, maxoid_enabled=True)
+    # Kernel: context tracking + binder policy + network guard.
+    assert device.sysfs is not None
+    assert device.binder._policy is not None  # Maxoid restriction installed
+    # Zygote with the branch manager hook.
+    assert device.zygote is not None
+    assert device.branches is not None
+    # Activity Manager with the delegation guard.
+    assert device.am is not None
+    assert device.ipc_guard is not None
+    # System content providers on the COW proxy.
+    for provider in (device.user_dictionary, device.downloads, device.media):
+        assert provider.proxy is not None
+    # Modified services + Launcher.
+    assert device.clipboard and device.bluetooth and device.telephony
+    assert device.launcher is not None
+    assert device.maxoid_service is not None
+
+
+@pytest.mark.benchmark(group="fig3-boot")
+def bench_boot_stock(benchmark):
+    device = benchmark(Device, maxoid_enabled=False)
+    # Same framework, no Maxoid hooks.
+    assert device.binder._policy is None
+    assert device.ipc_guard is None

@@ -1,0 +1,152 @@
+"""Table 1: state left after apps process their target data.
+
+For each app category the bench runs the representative operation twice —
+on stock Android and under Maxoid confinement — and audits the traces the
+paper's table lists. The benchmark times the full operation (the paper's
+point is that confinement does not change what the app *does*, only where
+its state lands); assertions verify the trace pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndroidManifest, Device, Intent
+from repro.android.uri import Uri
+from repro.apps import install_standard_apps
+from repro.core.audit import find_marker_in_files
+
+MARKER = b"MARKER-table1"
+
+EMAIL = "com.android.email"
+ADOBE = "com.adobe.reader"
+OFFICE = "cn.wps.moffice"
+SCANNER = "com.google.zxing.client.android"
+CAMSCANNER = "com.intsig.camscanner"
+CAMERA = "com.magix.camera_mx"
+VPLAYER = "me.abitno.vplayer.t"
+WRAPPER = "org.maxoid.wrapper"
+
+
+def fresh_env(maxoid: bool):
+    device = Device(maxoid_enabled=maxoid)
+    device.apps = install_standard_apps(device)
+    return device
+
+
+@pytest.fixture(params=["android", "maxoid"])
+def mode(request):
+    return request.param
+
+
+def _confined(env, mode, package, intent):
+    """Run the app on the document either normally (stock) or as the
+    wrapper's delegate (Maxoid)."""
+    wrapper = env.spawn(WRAPPER)
+    env.apps[WRAPPER].add_document(wrapper, "target.pdf", MARKER)
+    path = "/storage/sdcard/wrapper-vault/target.pdf"
+    intent.extras["path"] = path
+    if mode == "maxoid":
+        intent.component = package
+        return env.am.start_activity(wrapper.process, intent)
+    app = env.spawn(package)
+    result = env.apps[package].main(app, intent)
+    return result
+
+
+@pytest.mark.benchmark(group="table1-document")
+def bench_document_viewer_traces(benchmark, mode):
+    """Row 1: XML recents (private) + SD copy (public, via content URI)."""
+    env = fresh_env(maxoid=mode == "maxoid")
+
+    def run():
+        email = env.spawn(EMAIL)
+        attachment_id = env.apps[EMAIL].receive_attachment(email, "doc.pdf", MARKER)
+        return env.apps[EMAIL].view_attachment(email, attachment_id)
+
+    benchmark(run)
+    observer = env.spawn(SCANNER)
+    public_hits = find_marker_in_files(observer, MARKER, roots=["/storage/sdcard"])
+    recents = env.spawn(ADOBE).prefs.get("recent_files")
+    if mode == "android":
+        assert public_hits and recents
+    else:
+        assert not public_hits and recents is None
+
+
+@pytest.mark.benchmark(group="table1-scanner")
+def bench_scanner_traces(benchmark, mode):
+    """Row 2: recent-scans DB (private)."""
+    env = fresh_env(maxoid=mode == "maxoid")
+    intent = Intent(Intent.ACTION_SCAN, extras={"qr_payload": "MARKER-url"})
+
+    def run():
+        if mode == "maxoid":
+            return env.launch_as_delegate(SCANNER, "com.android.browser", intent)
+        return env.apps[SCANNER].main(env.spawn(SCANNER), intent)
+
+    benchmark(run)
+    history = env.apps[SCANNER].recent_scans(env.spawn(SCANNER))
+    if mode == "android":
+        assert "MARKER-url" in history
+    else:
+        assert history == []
+
+
+@pytest.mark.benchmark(group="table1-camscanner")
+def bench_camscanner_traces(benchmark, mode):
+    """Row 2b: CamScanner's image + thumbnail + log on the SD card."""
+    env = fresh_env(maxoid=mode == "maxoid")
+
+    def run():
+        return _confined(env, mode, CAMSCANNER, Intent(Intent.ACTION_SCAN, extras={}))
+
+    benchmark(run)
+    observer = env.spawn(ADOBE)
+    log_public = observer.sys.exists("/storage/sdcard/CamScanner/scanner.log")
+    assert log_public == (mode == "android")
+
+
+@pytest.mark.benchmark(group="table1-photo")
+def bench_camera_traces(benchmark, mode):
+    """Row 3: photo file on SD + Media provider entry."""
+    env = fresh_env(maxoid=mode == "maxoid")
+    intent = Intent(Intent.ACTION_IMAGE_CAPTURE, extras={"frame": MARKER})
+    results = []
+
+    def run():
+        if mode == "maxoid":
+            results.append(env.launch_as_delegate(CAMERA, WRAPPER, intent).result)
+        else:
+            results.append(env.apps[CAMERA].main(env.spawn(CAMERA), intent))
+
+    benchmark(run)
+    observer = env.spawn(ADOBE)
+    photo_public = observer.sys.exists(results[-1]["path"])
+    media_rows = observer.query(Uri.content("media", "files")).rows
+    if mode == "android":
+        assert photo_public and media_rows
+    else:
+        assert not photo_public and not media_rows
+
+
+@pytest.mark.benchmark(group="table1-media")
+def bench_vplayer_traces(benchmark, mode):
+    """Row 4: playback history DB (private) + thumbnail on SD (public)."""
+    env = fresh_env(maxoid=mode == "maxoid")
+    results = []
+
+    def run():
+        results.append(
+            _confined(env, mode, VPLAYER, Intent(Intent.ACTION_VIEW, extras={}))
+        )
+
+    benchmark(run)
+    result = results[-1].result if mode == "maxoid" else results[-1]
+    observer = env.spawn(ADOBE)
+    thumb_public = observer.sys.exists(result["thumbnail"])
+    history = env.apps[VPLAYER].playback_history(env.spawn(VPLAYER))
+    if mode == "android":
+        assert thumb_public and history
+    else:
+        assert not thumb_public and history == []

@@ -1,0 +1,192 @@
+"""Table 3: microbenchmark overheads.
+
+Paper columns: CPU-bound operations; internal file system read/write/
+append at 4 KB and 1 MB; User Dictionary insert/update/query-1/query-1k/
+delete — each for the initiator and the delegate, relative to stock
+Android.
+
+Each parametrized benchmark runs the identical operation under the three
+configurations; pytest-benchmark's comparison table is the reproduction of
+Table 3 (expected shape: android ≈ initiator < delegate, append worst).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro.workloads.generators import LARGE_FILE, SMALL_FILE, deterministic_bytes, make_dictionary_words
+
+WORDS = Uri.content("user_dictionary", "words")
+
+SIZES = {"4kb": SMALL_FILE, "1mb": LARGE_FILE}
+
+
+@pytest.mark.benchmark(group="table3-cpu")
+def bench_cpu_bound(benchmark, bench_api, config):
+    """CPU-bound operations: no I/O, so no configuration should differ."""
+
+    def matrix_multiply():
+        size = 24
+        a = [[(i * j + 1) % 7 for j in range(size)] for i in range(size)]
+        b = [[(i + j) % 5 for j in range(size)] for i in range(size)]
+        return [
+            [sum(a[i][k] * b[k][j] for k in range(size)) for j in range(size)]
+            for i in range(size)
+        ]
+
+    result = benchmark(matrix_multiply)
+    assert result[0][0] >= 0
+
+
+def _prepared_files(api, size, count=8):
+    payload = deterministic_bytes(size)
+    paths = []
+    for index in range(count):
+        paths.append(api.write_internal(f"bench/file{index}.bin", payload))
+    return paths
+
+
+@pytest.mark.parametrize("size_name", ["4kb", "1mb"])
+@pytest.mark.benchmark(group="table3-fs-read")
+def bench_internal_read(benchmark, bench_api, size_name):
+    """Internal FS read: the delegate pays the two-branch lookup."""
+    paths = _prepared_files(bench_api, SIZES[size_name])
+    state = {"i": 0}
+
+    def read_one():
+        path = paths[state["i"] % len(paths)]
+        state["i"] += 1
+        return bench_api.sys.read_file(path)
+
+    data = benchmark(read_one)
+    assert len(data) == SIZES[size_name]
+
+
+@pytest.mark.parametrize("size_name", ["4kb", "1mb"])
+@pytest.mark.benchmark(group="table3-fs-write")
+def bench_internal_write(benchmark, bench_api, size_name):
+    """Internal FS write (create + write a fresh file)."""
+    payload = deterministic_bytes(SIZES[size_name])
+    state = {"i": 0}
+
+    def write_one():
+        state["i"] += 1
+        bench_api.write_internal(f"bench/out{state['i']}.bin", payload)
+
+    benchmark(write_one)
+
+
+@pytest.mark.parametrize("size_name", ["4kb", "1mb"])
+@pytest.mark.benchmark(group="table3-fs-append")
+def bench_internal_append(benchmark, bench_device, config, size_name):
+    """Append to pre-existing files: the delegate's worst case (copy-up).
+
+    Pre-existing means the files live in Priv(B) before confinement —
+    created by a *normal* run of the app — so a delegate's append must
+    copy the whole file to its writable branch first (paper 7.2.1).
+    """
+    from benchmarks.conftest import BENCH_APP, spawn_for
+
+    payload = deterministic_bytes(SIZES[size_name])
+    normal = bench_device.spawn(BENCH_APP)
+    for index in range(512):
+        normal.write_internal(f"bench/pre{index}.bin", payload)
+    api = spawn_for(bench_device, config)
+    state = {"i": 0}
+
+    def append_one():
+        bench_api_path = f"/data/data/{BENCH_APP}/bench/pre{state['i'] % 512}.bin"
+        state["i"] += 1
+        api.sys.append_file(bench_api_path, b"+tail")
+
+    benchmark(append_one)
+
+
+def _dictionary(device, rows=1000):
+    """Populate the public dictionary (1000 rows), as the paper's setup:
+    the table pre-exists in Pub(all) before the measured app touches it."""
+    from benchmarks.conftest import BENCH_INITIATOR
+
+    owner = device.spawn(BENCH_INITIATOR)
+    for word in make_dictionary_words(rows):
+        owner.insert(WORDS, ContentValues({"word": word}))
+
+
+@pytest.mark.benchmark(group="table3-dict-insert")
+def bench_dict_insert(benchmark, bench_device, bench_api):
+    """User Dictionary insert (1000-row table)."""
+    _dictionary(bench_device)
+    state = {"i": 0}
+
+    def insert_one():
+        state["i"] += 1
+        bench_api.insert(WORDS, ContentValues({"word": f"inserted{state['i']}"}))
+
+    benchmark(insert_one)
+
+
+@pytest.mark.benchmark(group="table3-dict-update")
+def bench_dict_update(benchmark, bench_device, bench_api):
+    """Update: for delegates the first updates populate the delta table
+    (copy-on-write), as in the paper's methodology."""
+    _dictionary(bench_device)
+    state = {"i": 0}
+
+    def update_one():
+        row = (state["i"] % 1000) + 1
+        state["i"] += 1
+        bench_api.update(
+            WORDS.with_appended_id(row), ContentValues({"frequency": state["i"]})
+        )
+
+    benchmark(update_one)
+
+
+@pytest.mark.benchmark(group="table3-dict-query1")
+def bench_dict_query_one(benchmark, bench_device, bench_api, config):
+    """Query one word by ID URI; for delegates, after updates exist so the
+    query spans primary and delta tables."""
+    _dictionary(bench_device)
+    if config == "delegate":
+        for row in range(1, 101):
+            bench_api.update(WORDS.with_appended_id(row), ContentValues({"frequency": 2}))
+    state = {"i": 0}
+
+    def query_one():
+        row = (state["i"] % 1000) + 1
+        state["i"] += 1
+        return bench_api.query(WORDS.with_appended_id(row), projection=["word"])
+
+    result = benchmark(query_one)
+    assert len(result.rows) == 1
+
+
+@pytest.mark.benchmark(group="table3-dict-query1k")
+def bench_dict_query_all(benchmark, bench_device, bench_api, config):
+    """Query all 1000 words (the paper's query-1k-words column)."""
+    _dictionary(bench_device)
+    if config == "delegate":
+        for row in range(1, 101):
+            bench_api.update(WORDS.with_appended_id(row), ContentValues({"frequency": 2}))
+
+    def query_all():
+        return bench_api.query(WORDS, projection=["word"], order_by="_id")
+
+    result = benchmark(query_all)
+    assert len(result.rows) == 1000
+
+
+@pytest.mark.benchmark(group="table3-dict-delete")
+def bench_dict_delete(benchmark, bench_device, bench_api):
+    """Delete by ID (whiteout creation for delegates)."""
+    _dictionary(bench_device, rows=1000)
+    state = {"i": 0}
+
+    def delete_one():
+        row = (state["i"] % 1000) + 1
+        state["i"] += 1
+        return bench_api.delete(WORDS.with_appended_id(row))
+
+    benchmark(delete_one)

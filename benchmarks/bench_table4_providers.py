@@ -1,0 +1,104 @@
+"""Table 4: Downloads and Media provider workloads.
+
+Paper rows: (1) download 100 × 1 KB files; (2) scan 100 × ~780 KB images
+storing metadata into the Media provider. Columns: unmodified Android,
+Maxoid to public state, Maxoid to volatile state. Expected shape: all
+three within noise of each other (the paper reports no overhead).
+
+The image count is scaled down by IMAGE_SCALE for benchmark round time;
+the full-size run lives in report_tables.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndroidManifest, Device
+from repro.workloads.generators import (
+    deterministic_bytes,
+    make_image_files,
+    publish_download_set,
+)
+
+APP = "com.bench.tester"
+HOST = "bench.example.com"
+DOWNLOAD_COUNT = 100
+IMAGE_COUNT = 20  # scaled from the paper's 100 for bench round time
+IMAGE_SIZE = 64 * 1024  # scaled from 780 KB
+
+
+class _Nop:
+    def main(self, api, intent):
+        return None
+
+
+def make_env(maxoid: bool):
+    device = Device(maxoid_enabled=maxoid)
+    device.install(AndroidManifest(package=APP), _Nop())
+    publish_download_set(device, count=DOWNLOAD_COUNT, host=HOST)
+    return device
+
+
+@pytest.mark.parametrize(
+    "setup",
+    ["android", "maxoid-public", "maxoid-volatile"],
+)
+@pytest.mark.benchmark(group="table4-download-100x1kb")
+def bench_download_100_files(benchmark, setup):
+    """Download 100 1KB files via DownloadManager (paper Table 4 row 1)."""
+    maxoid = setup != "android"
+    volatile = setup == "maxoid-volatile"
+
+    def run():
+        device = make_env(maxoid)
+        api = device.spawn(APP)
+        for index in range(DOWNLOAD_COUNT):
+            api.enqueue_download(
+                f"https://{HOST}/dl{index:04d}.bin", f"dl{index:04d}.bin", volatile=volatile
+            )
+        done = device.run_downloads()
+        assert done == DOWNLOAD_COUNT
+        return device
+
+    device = benchmark(run)
+    # Verify placement semantics.
+    observer = device.spawn(APP)
+    if volatile:
+        assert not observer.sys.exists("/storage/sdcard/Download/dl0000.bin")
+        assert observer.sys.exists("/storage/sdcard/tmp/Download/dl0000.bin")
+    else:
+        assert observer.sys.exists("/storage/sdcard/Download/dl0000.bin")
+
+
+@pytest.mark.parametrize(
+    "setup",
+    ["android", "maxoid-public", "maxoid-volatile"],
+)
+@pytest.mark.benchmark(group="table4-media-scan")
+def bench_scan_images(benchmark, setup):
+    """Scan images into the Media provider (paper Table 4 row 2).
+
+    The paper's tester runs as an initiator for the public case and as an
+    initiator using its volatile state for the volatile case.
+    """
+    maxoid = setup != "android"
+    volatile = setup == "maxoid-volatile"
+
+    def run():
+        device = make_env(maxoid)
+        api = device.spawn(APP)
+        paths = make_image_files(api, count=IMAGE_COUNT, size=IMAGE_SIZE)
+        for path in paths:
+            api.scan_media(path, volatile=volatile)
+        return device
+
+    device = benchmark(run)
+    api = device.spawn(APP)
+    from repro.android.uri import Uri
+
+    public_rows = api.query(Uri.content("media", "files")).rows
+    if volatile:
+        assert public_rows == []
+        assert len(api.query(Uri.content("media", "files").to_volatile()).rows) == IMAGE_COUNT
+    else:
+        assert len(public_rows) == IMAGE_COUNT

@@ -1,0 +1,104 @@
+"""Section 7.1 use cases as end-to-end benchmarks: Dropbox, Email
+attachments, incognito Browser, the wrapper app, EBookDroid pPriv."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Intent
+
+DROPBOX = "com.dropbox.android"
+EMAIL = "com.android.email"
+BROWSER = "com.android.browser"
+ADOBE = "com.adobe.reader"
+EBOOK = "org.ebookdroid"
+WRAPPER = "org.maxoid.wrapper"
+
+
+@pytest.mark.benchmark(group="usecase-dropbox")
+def bench_dropbox_open_edit_commit(benchmark, loaded_bench_device):
+    """Sync a file, open it with a confined viewer, commit via tmp."""
+    env = loaded_bench_device
+    dbx = env.spawn(DROPBOX)
+    env.apps[DROPBOX].sync_down(dbx, ["report.pdf"])
+    state = {"i": 0}
+
+    def cycle():
+        state["i"] += 1
+        delegate = env.spawn(ADOBE, initiator=DROPBOX)
+        delegate.sys.write_file(
+            "/storage/sdcard/Dropbox/report.pdf", b"edit %d" % state["i"]
+        )
+        committed = env.apps[DROPBOX].upload_from_tmp(dbx, "report.pdf")
+        env.clear_volatile(DROPBOX)
+        return committed
+
+    committed = benchmark(cycle)
+    assert committed == "/storage/sdcard/Dropbox/report.pdf"
+
+
+@pytest.mark.benchmark(group="usecase-email")
+def bench_email_view_attachment(benchmark, loaded_bench_device):
+    env = loaded_bench_device
+    em = env.spawn(EMAIL)
+    attachment_id = env.apps[EMAIL].receive_attachment(em, "contract.pdf", b"%PDF secret")
+
+    def view():
+        return env.apps[EMAIL].view_attachment(em, attachment_id)
+
+    invocation = benchmark(view)
+    assert invocation.process.context.initiator == EMAIL
+
+
+@pytest.mark.benchmark(group="usecase-incognito")
+def bench_incognito_download_cycle(benchmark, loaded_bench_device):
+    """Download in incognito, open the file, clear all traces."""
+    env = loaded_bench_device
+
+    def cycle():
+        browser = env.spawn(BROWSER)
+        env.apps[BROWSER].download(
+            browser, "https://example.com/leaflet.pdf", "leaflet.pdf", incognito=True
+        )
+        env.run_downloads()
+        note = env.downloads.notifications[-1]
+        invocation = env.apps[BROWSER].open_download(browser, note)
+        env.launcher.clear_vol(BROWSER)
+        env.launcher.clear_priv(BROWSER)
+        return invocation
+
+    invocation = benchmark(cycle)
+    assert invocation.process.context.initiator == BROWSER
+    assert not env.spawn(ADOBE).sys.exists("/storage/sdcard/Download/leaflet.pdf")
+
+
+@pytest.mark.benchmark(group="usecase-wrapper")
+def bench_wrapper_incognito_session(benchmark, loaded_bench_device):
+    env = loaded_bench_device
+    wrapper = env.spawn(WRAPPER)
+    env.apps[WRAPPER].add_document(wrapper, "taxes.pdf", b"%PDF taxes")
+
+    def session():
+        invocation = env.apps[WRAPPER].open_with_real_app(wrapper, "taxes.pdf")
+        env.apps[WRAPPER].end_session(wrapper)
+        return invocation
+
+    invocation = benchmark(session)
+    assert invocation.process.context.is_delegate
+
+
+@pytest.mark.benchmark(group="usecase-ebookdroid")
+def bench_ebookdroid_ppriv_recents(benchmark, loaded_bench_device):
+    """The modified delegate: record recents in pPriv, survive re-fork."""
+    env = loaded_bench_device
+    ebook = env.apps[EBOOK]
+    em = env.spawn(EMAIL)
+    attachment_id = env.apps[EMAIL].receive_attachment(em, "book.pdf", b"%PDF book")
+    path = f"/data/data/{EMAIL}/attachments/{attachment_id}/book.pdf"
+
+    def open_as_delegate():
+        delegate = env.spawn(EBOOK, initiator=EMAIL)
+        return ebook.main(delegate, Intent(Intent.ACTION_VIEW, extras={"path": path}))
+
+    result = benchmark(open_as_delegate)
+    assert "book.pdf" in result["recent"]

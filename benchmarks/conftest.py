@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures.
+
+Every benchmark compares up to three configurations, matching the paper's
+evaluation:
+
+- ``android`` — the stock baseline (``Device(maxoid_enabled=False)``);
+- ``initiator`` — Maxoid enabled, the measured app runs on behalf of
+  itself;
+- ``delegate`` — Maxoid enabled, the measured app runs on behalf of an
+  initiator.
+
+Run with ``pytest benchmarks/ --benchmark-only``; the pytest-benchmark
+table then shows the three configurations side by side per operation, the
+shape the paper's Tables 3-5 report. ``benchmarks/report_tables.py``
+renders the same data as paper-style tables for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndroidManifest, Device
+from repro.apps import install_standard_apps
+
+
+class _NopApp:
+    def main(self, api, intent):
+        return None
+
+
+BENCH_APP = "com.bench.app"
+BENCH_INITIATOR = "com.bench.initiator"
+
+
+def make_device(maxoid: bool) -> Device:
+    device = Device(maxoid_enabled=maxoid)
+    device.install(AndroidManifest(package=BENCH_APP), _NopApp())
+    device.install(AndroidManifest(package=BENCH_INITIATOR), _NopApp())
+    return device
+
+
+def spawn_for(device: Device, config: str):
+    """An AppApi for the measured app under the given configuration."""
+    if config == "delegate":
+        return device.spawn(BENCH_APP, initiator=BENCH_INITIATOR)
+    return device.spawn(BENCH_APP)
+
+
+@pytest.fixture(params=["android", "initiator", "delegate"])
+def config(request):
+    return request.param
+
+
+@pytest.fixture
+def bench_device(config):
+    return make_device(maxoid=config != "android")
+
+
+@pytest.fixture
+def bench_api(bench_device, config):
+    return spawn_for(bench_device, config)
+
+
+@pytest.fixture
+def loaded_bench_device():
+    """A Maxoid device with the full app catalog (figure/use-case benches)."""
+    device = Device(maxoid_enabled=True)
+    device.network.publish("dropbox.com", "report.pdf", b"%PDF dropbox report")
+    device.network.publish("example.com", "leaflet.pdf", b"%PDF leaflet")
+    device.apps = install_standard_apps(device)
+    return device

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Securing Email attachments (paper sections 2.2.III and 7.1).
+
+Stock Android's per-URI grant lets a viewer open exactly one attachment —
+but nothing stops the viewer from *copying* it anywhere. This script shows
+the attack on a stock device, then the same flow under Maxoid where the
+viewer runs as Email's delegate and every trace is confined.
+
+Run: ``python examples/email_attachments.py``
+"""
+
+from repro import Device
+from repro.apps import EmailApp, PdfViewerApp, BarcodeScannerApp
+from repro.core.audit import find_marker_in_files
+
+SECRET = b"MARKER-salary-data"
+
+
+def run(maxoid: bool) -> None:
+    banner = "Maxoid" if maxoid else "stock Android"
+    print(f"--- {banner} ---")
+    device = Device(maxoid_enabled=maxoid)
+    email_app = EmailApp.install(device)
+    PdfViewerApp.install(device)
+    BarcodeScannerApp.install(device)
+
+    email = device.spawn(EmailApp.BUILD.package)
+    attachment_id = email_app.receive_attachment(email, "salaries.pdf", b"%PDF " + SECRET)
+    invocation = email_app.view_attachment(email, attachment_id)
+    print(f"  viewer ran as: {invocation.process.context}")
+
+    # Audit: can an unrelated app find the secret on public storage?
+    bystander = device.spawn(BarcodeScannerApp.BUILD.package)
+    hits = find_marker_in_files(bystander, SECRET, roots=["/storage/sdcard"])
+    print(f"  secret visible to a bystander: {hits or 'nowhere'}")
+
+    # The viewer's recent-files list when the user next opens it normally:
+    viewer = device.spawn(PdfViewerApp.BUILD.package)
+    print(f"  viewer's recents when run normally: {viewer.prefs.get('recent_files')}")
+
+    if maxoid:
+        # Email can inspect what the viewer left behind, then discard it.
+        print(f"  Vol(Email): {email.volatile.list_files()}")
+        device.clear_volatile(EmailApp.BUILD.package)
+        print("  Vol(Email) cleared")
+
+
+def main() -> None:
+    run(maxoid=False)
+    run(maxoid=True)
+
+
+if __name__ == "__main__":
+    main()

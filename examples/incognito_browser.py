@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Incognito downloads (paper sections 2.2.IV and 7.1).
+
+Stock incognito mode forgets your *history* but a download still lands on
+public storage and in the public Downloads provider. With Maxoid, the
+paper's one-line Browser change stores incognito downloads in the
+Browser's volatile state; tapping the notification opens the viewer as the
+Browser's delegate; Clear-Vol + Clear-Priv erase the whole session —
+including the QR scanner that provided the URL.
+
+Run: ``python examples/incognito_browser.py``
+"""
+
+from repro import Device, Intent
+from repro.android.uri import Uri
+from repro.apps import BarcodeScannerApp, BrowserApp, PdfViewerApp
+
+
+def main() -> None:
+    device = Device(maxoid_enabled=True)
+    device.network.publish("example.com", "sensitive-report.pdf", b"%PDF sensitive")
+    browser_app = BrowserApp.install(device)
+    PdfViewerApp.install(device)
+    scanner_app = BarcodeScannerApp.install(device)
+
+    browser = device.spawn(BrowserApp.BUILD.package)
+
+    # The URL arrives from a QR code, scanned by the scanner running as the
+    # Browser's delegate (started from the Launcher, section 6.3).
+    scan = device.launch_as_delegate(
+        BarcodeScannerApp.BUILD.package,
+        BrowserApp.BUILD.package,
+        Intent(Intent.ACTION_SCAN, extras={"qr_payload": "example.com/sensitive-report.pdf"}),
+    )
+    print(f"QR scanned by {scan.process.context}: {scan.result['text']}")
+
+    # Incognito download: one flag (the paper's one-line change).
+    download_id = browser_app.download(
+        browser, "https://example.com/sensitive-report.pdf", "sensitive-report.pdf",
+        incognito=True,
+    )
+    device.run_downloads()
+    print(f"download {download_id} complete:",
+          device.download_manager.succeeded(browser.process, download_id, volatile=True))
+
+    # Publicly: no file, no Downloads row.
+    bystander = device.spawn(PdfViewerApp.BUILD.package)
+    print("bystander sees the file?",
+          bystander.sys.exists("/storage/sdcard/Download/sensitive-report.pdf"))
+    print("bystander sees a Downloads row?",
+          bool(bystander.query(Uri.content("downloads", "all_downloads")).rows))
+
+    # Tapping the notification opens the viewer as the Browser's delegate.
+    note = device.downloads.notifications[-1]
+    invocation = browser_app.open_download(browser, note)
+    print(f"notification opened by {invocation.process.context}, "
+          f"{invocation.result['bytes']} bytes rendered")
+
+    # End of session: wipe everything.
+    device.launcher.clear_vol(BrowserApp.BUILD.package)
+    device.launcher.clear_priv(BrowserApp.BUILD.package)
+    print("after Clear-Vol/Clear-Priv:")
+    print("  scanner history:", scanner_app.recent_scans(device.spawn(BarcodeScannerApp.BUILD.package)))
+    print("  viewer recents:", device.spawn(PdfViewerApp.BUILD.package).prefs.get("recent_files"))
+    fresh_delegate = device.spawn(PdfViewerApp.BUILD.package, initiator=BrowserApp.BUILD.package)
+    print("  download still in Vol?",
+          fresh_delegate.sys.exists("/storage/sdcard/Download/sensitive-report.pdf"))
+
+
+if __name__ == "__main__":
+    main()

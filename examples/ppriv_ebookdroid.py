@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""EBookDroid's persistent private state (paper sections 3.2 and 7.1).
+
+A Maxoid-aware delegate can keep useful state across invocations for the
+same initiator even though its normal private state gets re-forked. This
+script replays Figure 2's lifecycle with the modified EBookDroid: a PDF
+viewed on behalf of Email stays in the recents list across re-forks — but
+only when EBookDroid runs on behalf of Email.
+
+Run: ``python examples/ppriv_ebookdroid.py``
+"""
+
+from repro import Device, Intent
+from repro.apps import EBookDroidApp, EmailApp
+
+EMAIL = EmailApp.BUILD.package
+EBOOK = EBookDroidApp.BUILD.package
+
+
+def main() -> None:
+    device = Device(maxoid_enabled=True)
+    email_app = EmailApp.install(device)
+    ebook_app = EBookDroidApp.install(device)
+
+    # An attachment arrives.
+    email = device.spawn(EMAIL)
+    attachment_id = email_app.receive_attachment(email, "novel.pdf", b"%PDF a novel")
+    path = f"/data/data/{EMAIL}/attachments/{attachment_id}/novel.pdf"
+
+    # EBookDroid opens it as Email's delegate: the entry goes to pPriv.
+    delegate = device.spawn(EBOOK, initiator=EMAIL)
+    result = ebook_app.main(delegate, Intent(Intent.ACTION_VIEW, extras={"path": path}))
+    print("recents as Email's delegate:", result["recent"])
+
+    # The user reads an ordinary book normally: nPriv gets a new entry,
+    # and Priv(EBookDroid) diverges — the next delegate run re-forks nPriv.
+    normal = device.spawn(EBOOK)
+    normal.write_external("Books/hobby.pdf", b"%PDF hobby")
+    ebook_app.main(
+        normal, Intent(Intent.ACTION_VIEW, extras={"path": "/storage/sdcard/Books/hobby.pdf"})
+    )
+    print("recents when running normally:", ebook_app.recent_list(device.spawn(EBOOK)))
+
+    # Back on behalf of Email: nPriv was re-forked (it now contains the
+    # hobby book from the normal run) AND the pPriv entry survived.
+    delegate2 = device.spawn(EBOOK, initiator=EMAIL)
+    print("recents as Email's delegate again:", ebook_app.recent_list(delegate2))
+
+    # A different initiator gets isolated persistent state.
+    device.install(
+        __import__("repro").AndroidManifest(package="com.other.app"),
+        type("Nop", (), {"main": lambda self, api, intent: None})(),
+    )
+    for_other = device.spawn(EBOOK, initiator="com.other.app")
+    print("recents on behalf of another app:", ebook_app.recent_list(for_other))
+
+    # And Email can make the viewer forget everything.
+    device.clear_delegate_priv(EMAIL)
+    delegate3 = device.spawn(EBOOK, initiator=EMAIL)
+    print("recents after Email clears Priv(x^Email):", ebook_app.recent_list(delegate3))
+
+
+if __name__ == "__main__":
+    main()

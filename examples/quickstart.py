@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: boot a simulated device, confine an untrusted app, inspect
+and manage the volatile state.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import AndroidManifest, Device, Intent
+from repro.android.intents import IntentFilter
+
+
+class NotesApp:
+    """Our 'initiator': holds a private file it wants processed."""
+
+    def main(self, api, intent):
+        return None
+
+
+class SketchyEditor:
+    """An untrusted helper that sprays state around, as real apps do."""
+
+    def main(self, api, intent):
+        path = intent.extras["path"]
+        text = api.sys.read_file(path)
+        # It keeps a recent-files list in its private prefs...
+        api.prefs.append_to_list("recent", path)
+        # ...copies the document to the SD card...
+        api.write_external("EditorCache/copy.txt", text)
+        # ...and "edits" the original in place.
+        api.sys.write_file(path, text + b" [edited]")
+        return len(text)
+
+
+def main() -> None:
+    device = Device(maxoid_enabled=True)
+    device.install(AndroidManifest(package="com.example.notes"), NotesApp())
+    device.install(
+        AndroidManifest(
+            package="com.example.editor",
+            handles=[IntentFilter(actions=[Intent.ACTION_EDIT])],
+        ),
+        SketchyEditor(),
+    )
+
+    # The initiator writes a private document.
+    notes = device.spawn("com.example.notes")
+    doc = notes.write_internal("docs/ideas.txt", b"my secret ideas")
+    print(f"notes wrote {doc}")
+
+    # Invoke the editor AS A DELEGATE (one flag — or use a Maxoid manifest
+    # so no code changes are needed at all).
+    intent = Intent(Intent.ACTION_EDIT, extras={"path": doc})
+    intent.add_flag(Intent.FLAG_MAXOID_DELEGATE)
+    invocation = device.am.start_activity(notes.process, intent)
+    print(f"editor ran as {invocation.process.context}, processed {invocation.result} bytes")
+
+    # The editor's traces are all confined:
+    bystander = device.spawn("com.example.editor")  # the editor, run normally
+    print("editor's recent list when run normally:", bystander.prefs.get("recent"))
+    print(
+        "SD copy visible publicly?",
+        bystander.sys.exists("/storage/sdcard/EditorCache/copy.txt"),
+    )
+    print("original document intact?", notes.sys.read_file(doc) == b"my secret ideas")
+
+    # The initiator reviews the volatile state and commits the edit it wants.
+    print("volatile files:", notes.volatile.list_files())
+    edited = notes.volatile.read("/data/data/com.example.notes/tmp/docs/ideas.txt")
+    print("the delegate's edit:", edited)
+    committed = notes.volatile.commit("/data/data/com.example.notes/tmp/docs/ideas.txt")
+    print(f"committed to {committed}: {notes.sys.read_file(committed)}")
+
+    # Discard everything else.
+    removed = device.clear_volatile("com.example.notes")
+    print(f"cleared {removed} leftover volatile item(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Securing Dropbox (paper section 7.1), end to end.
+
+Dropbox declares — via its Maxoid manifest, with no code changes — that
+its sync directory on external storage is private and that every VIEW
+intent invokes a delegate. The script shows:
+
+1. other apps cannot see the synced files;
+2. the viewer the user clicks runs confined; its side effects land in
+   Vol(Dropbox);
+3. auto-sync does NOT pick up the delegate's unintended modification;
+4. the user commits the one edit they want (uploaded + made default);
+5. Clear-Vol discards the rest.
+
+Run: ``python examples/secure_dropbox.py``
+"""
+
+from repro import Device
+from repro.apps import DropboxApp, PdfViewerApp, BarcodeScannerApp
+
+
+def main() -> None:
+    device = Device(maxoid_enabled=True)
+    device.network.publish("dropbox.com", "contract.pdf", b"%PDF the contract")
+    dropbox_app = DropboxApp.install(device)
+    PdfViewerApp.install(device)
+    BarcodeScannerApp.install(device)
+
+    dbx = device.spawn(DropboxApp.BUILD.package)
+    dropbox_app.sync_down(dbx, ["contract.pdf"])
+    print("synced contract.pdf into EXTDIR/Dropbox (a private external dir)")
+
+    snoop = device.spawn(BarcodeScannerApp.BUILD.package)
+    print(
+        "another app sees the file?",
+        snoop.sys.exists("/storage/sdcard/Dropbox/contract.pdf"),
+    )
+
+    # The user clicks the file; the VIEW intent is private per the manifest.
+    invocation = dropbox_app.open_file(dbx, "contract.pdf")
+    print(f"viewer ran as {invocation.process.context}")
+
+    # Simulate the viewer saving an edit in place (plus its cache traces).
+    delegate = device.spawn(PdfViewerApp.BUILD.package, initiator=DropboxApp.BUILD.package)
+    delegate.sys.write_file("/storage/sdcard/Dropbox/contract.pdf", b"%PDF signed!")
+    delegate.write_external("ViewerCache/junk.tmp", b"cache junk")
+
+    print("auto-sync sees changes?", dropbox_app.auto_sync(dbx))  # [] — integrity!
+    print("volatile state:", dbx.volatile.list_files())
+
+    committed = dropbox_app.upload_from_tmp(dbx, "contract.pdf")
+    print(f"user committed + uploaded the edit; {committed} now reads:",
+          dbx.sys.read_file(committed))
+
+    removed = device.clear_volatile(DropboxApp.BUILD.package)
+    print(f"Clear-Vol discarded {removed} leftover item(s) (the cache junk)")
+
+
+if __name__ == "__main__":
+    main()

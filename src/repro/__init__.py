@@ -1,0 +1,51 @@
+"""Maxoid reproduction: transparently confining mobile applications with
+custom views of state (Xu & Witchel, EuroSys 2015).
+
+A pure-Python simulation of the Maxoid system and the Android substrate it
+runs on. The quickest entry point::
+
+    from repro import Device, Intent, AndroidManifest
+
+    device = Device(maxoid_enabled=True)
+    # install apps, invoke delegates, inspect views...
+
+Packages:
+
+- :mod:`repro.kernel` — simulated kernel: VFS, union filesystem (Aufs),
+  mount namespaces, processes, Binder, network, sysfs.
+- :mod:`repro.minisql` — a miniature SQL engine (views, INSTEAD OF
+  triggers, UNION ALL flattening) standing in for SQLite.
+- :mod:`repro.android` — the Android framework: packages, intents,
+  Activity Manager, Zygote, content providers, services, Launcher.
+- :mod:`repro.core` — Maxoid itself: custom views of files and providers,
+  the COW proxy, volatile state, persistent private state, IPC and
+  network confinement, and the :class:`~repro.core.device.Device` facade.
+- :mod:`repro.apps` — simulated real-world apps for the paper's case
+  studies (Dropbox, Email, Browser, document viewers, scanners, ...).
+- :mod:`repro.workloads` — workload generators, the latency model, and
+  the measurement harness behind the benchmarks.
+"""
+
+from repro.android.intents import Intent, IntentFilter
+from repro.android.packages import AndroidManifest
+from repro.android.permissions import Permission
+from repro.android.uri import Uri
+from repro.core.cow import CowProxy
+from repro.core.device import Device
+from repro.core.manifest import MaxoidManifest
+from repro.minisql import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "Intent",
+    "IntentFilter",
+    "AndroidManifest",
+    "MaxoidManifest",
+    "Permission",
+    "Uri",
+    "CowProxy",
+    "Database",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Simulated Android framework.
+
+The pieces of Android that Maxoid touches, reimplemented over the simulated
+kernel: packages and permissions, intents and the Activity Manager, Zygote,
+content providers and the resolver, system services, and the Launcher.
+
+Stock Android behaviour is the default everywhere; Maxoid behaviour is
+injected by :mod:`repro.core` through explicit hook points (the delegation
+policy on the Activity Manager, the branch manager on Zygote, the Binder
+policy on the driver, the COW proxy inside system content providers). This
+lets the benchmarks run the *same* framework with Maxoid disabled as the
+baseline, matching the paper's "unmodified Android" comparisons.
+"""
+
+from repro.android.uri import Uri
+from repro.android.intents import Intent, IntentFilter
+from repro.android.permissions import Permission
+from repro.android.packages import AndroidManifest, PackageManager, InstalledPackage
+from repro.android.storage import StorageLayout, SharedPreferences, PrivateDatabase
+
+__all__ = [
+    "Uri",
+    "Intent",
+    "IntentFilter",
+    "Permission",
+    "AndroidManifest",
+    "PackageManager",
+    "InstalledPackage",
+    "StorageLayout",
+    "SharedPreferences",
+    "PrivateDatabase",
+]

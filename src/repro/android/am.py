@@ -1,0 +1,173 @@
+"""The Activity Manager Service (paper sections 3.4, 6.2).
+
+Routes intents between apps, decides each invocation's execution context
+(normal start vs delegate), enforces invocation transitivity, kills
+conflicting instances, and scopes broadcasts.
+
+Maxoid behaviour is pluggable: with ``ipc_guard=None`` the AM behaves like
+stock Android (every invocation is a normal start and broadcasts go
+everywhere), which is the benchmark baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ActivityNotFound
+from repro.android.intents import Intent, IntentFilter
+from repro.android.packages import PackageManager
+from repro.android.zygote import Zygote
+from repro.kernel.binder import BinderDriver, Transaction
+from repro.kernel.proc import Process, ProcessTable, TaskContext
+
+# An app's entry point: receives (process, intent), returns a result that
+# is handed back to the invoker (startActivityForResult semantics).
+AppHandler = Callable[[Process, Intent], Any]
+
+
+@dataclass
+class Invocation:
+    """Record of one completed invocation (result + the delegate process)."""
+
+    target: str
+    process: Process
+    result: Any
+
+
+class ActivityManagerService:
+    """Intent routing with optional Maxoid confinement."""
+
+    def __init__(
+        self,
+        package_manager: PackageManager,
+        zygote: Zygote,
+        process_table: ProcessTable,
+        binder: BinderDriver,
+        ipc_guard: Optional[object] = None,  # repro.core.ipc_guard.IpcGuard
+        maxoid_manifests: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._packages = package_manager
+        self._zygote = zygote
+        self._processes = process_table
+        self._binder = binder
+        self._guard = ipc_guard
+        # Keep the caller's dict: the Device registers Maxoid manifests into
+        # it as apps install (after the AM is constructed).
+        self._manifests = maxoid_manifests if maxoid_manifests is not None else {}
+        self._handlers: Dict[str, AppHandler] = {}
+        self._broadcast_receivers: List[Tuple[IntentFilter, Process, AppHandler]] = []
+        self.invocation_log: List[str] = []
+        binder.register("activity_manager", self._handle_binder, is_system=True)
+
+    def _handle_binder(self, transaction: Transaction) -> Any:
+        # Intents ride over Binder to the AM; this endpoint exists so the
+        # architecture matches Figure 3, but local calls take the direct
+        # path below.
+        raise NotImplementedError("use start_activity()")
+
+    # ------------------------------------------------------------------
+
+    def register_handler(self, package: str, handler: AppHandler) -> None:
+        """Register the app's code entry point (its activities)."""
+        self._packages.get(package)
+        self._handlers[package] = handler
+
+    def handler_for(self, package: str) -> AppHandler:
+        handler = self._handlers.get(package)
+        if handler is None:
+            raise ActivityNotFound(f"{package} has no registered activities")
+        return handler
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, intent: Intent, caller: Optional[str] = None) -> str:
+        """Pick the target package for an intent.
+
+        An explicit component wins; otherwise the first filter match (the
+        simulated ResolverActivity — an intent channel, not an app
+        instance, so it never becomes a delegate itself)."""
+        candidates = self._packages.resolve_intent(intent, exclude=caller)
+        if not candidates:
+            raise ActivityNotFound(f"no activity for {intent!r}")
+        return candidates[0]
+
+    def _decide_initiator(self, caller: Process, intent: Intent) -> Optional[str]:
+        if self._guard is None:
+            return None  # stock Android: no delegation exists
+        manifest = self._manifests.get(caller.context.app)
+        return self._guard.decide_initiator(caller.context, intent, manifest)
+
+    def _kill_conflicting(self, package: str, initiator: Optional[str]) -> int:
+        """Kill running instances of ``package`` in a different context,
+        and — when starting a delegate — the target's normal instance
+        (avoids inconsistent Priv(B^A) views, section 4.2)."""
+        killed = 0
+        for process in self._processes.instances_of(package):
+            if process.context.initiator != initiator:
+                process.kill()
+                if self._guard is not None:
+                    self._guard.unregister_instance(f"app:{process.pid}")
+                killed += 1
+        return killed
+
+    def start_activity(
+        self,
+        caller: Process,
+        intent: Intent,
+        *,
+        forced_initiator: Optional[str] = None,
+    ) -> Invocation:
+        """Start the activity an intent resolves to and run it to
+        completion, returning its result.
+
+        ``forced_initiator`` is the Launcher's drag-to-Initiator path
+        (section 6.3): the user starts a delegate without the initiator's
+        explicit invocation.
+        """
+        target = self.resolve(intent, caller=caller.context.app)
+        if forced_initiator is not None:
+            initiator: Optional[str] = forced_initiator
+        else:
+            initiator = self._decide_initiator(caller, intent)
+        if initiator == target:
+            initiator = None  # an app invoked by itself runs normally
+        self._kill_conflicting(target, initiator)
+        process = self._zygote.fork_app(target, initiator)
+        endpoint_name = f"app:{process.pid}"
+        self._binder.register(
+            endpoint_name, lambda txn: None, owner=target, is_system=False
+        )
+        if self._guard is not None:
+            self._guard.register_instance(endpoint_name, process.context)
+        self.invocation_log.append(f"{caller.context} -> {process.context}: {intent.action}")
+        handler = self.handler_for(target)
+        try:
+            result = handler(process, intent)
+        finally:
+            pass  # the process stays alive until killed or replaced
+        return Invocation(target=target, process=process, result=result)
+
+    # ------------------------------------------------------------------
+    # Broadcasts
+    # ------------------------------------------------------------------
+
+    def register_receiver(
+        self, process: Process, intent_filter: IntentFilter, handler: AppHandler
+    ) -> None:
+        self._broadcast_receivers.append((intent_filter, process, handler))
+
+    def send_broadcast(self, sender: Process, intent: Intent) -> int:
+        """Deliver a broadcast; a delegate's broadcasts stay inside its
+        confinement domain (section 3.4). Returns receivers reached."""
+        delivered = 0
+        for intent_filter, process, handler in list(self._broadcast_receivers):
+            if not process.alive or not intent_filter.matches(intent):
+                continue
+            if self._guard is not None and not self._guard.broadcast_visible(
+                sender.context, process.context
+            ):
+                continue
+            handler(process, intent)
+            delivered += 1
+        return delivered

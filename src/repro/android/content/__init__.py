@@ -1,0 +1,24 @@
+"""Content providers: the framework plus the three system providers the
+paper ports to the COW proxy (User Dictionary, Downloads, Media)."""
+
+from repro.android.content.provider import (
+    ContentProvider,
+    ContentResolver,
+    ContentValues,
+    UriPermissionGrants,
+)
+from repro.android.content.user_dictionary import UserDictionaryProvider
+from repro.android.content.downloads import DownloadsProvider
+from repro.android.content.media import MediaProvider
+from repro.android.content.contacts import ContactsProvider
+
+__all__ = [
+    "ContentProvider",
+    "ContentResolver",
+    "ContentValues",
+    "UriPermissionGrants",
+    "UserDictionaryProvider",
+    "DownloadsProvider",
+    "MediaProvider",
+    "ContactsProvider",
+]

@@ -1,0 +1,281 @@
+"""The Downloads provider (paper sections 5.3 and 6.2).
+
+Beyond passive storage, Downloads has background work: it fetches files
+from the network and posts completion notifications. The Maxoid port:
+
+- two tables (``downloads`` and ``request_headers``) go through the COW
+  proxy; for a delegate's operation the proxy selects the COW views of
+  *both* tables;
+- the background worker uses the **administrative view** to see public and
+  volatile records alike, tracking which state each belongs to;
+- an initiator may request a **volatile download** (the ``isVolatile``
+  flag): the record lands in its delta table and the fetched file in its
+  volatile branch — this is what incognito download is built on (7.1);
+- download *requests* from delegates get an emulated network error
+  (section 6.2), because a fetch of a delegate-chosen URL could leak the
+  initiator's secrets in the URL itself; delegates may still insert or
+  update entries that describe existing files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import FileNotFound, SecurityException
+from repro.android.content.provider import ContentProvider, ContentValues
+from repro.android.content.system_io import SystemStorageIO
+from repro.android.storage import EXTDIR
+from repro.android.uri import Uri
+from repro.core.cow import CowProxy
+from repro.kernel import path as vpath
+from repro.kernel.network import NetworkStack
+from repro.kernel.proc import Process, TaskContext
+from repro.minisql.engine import ResultSet
+
+AUTHORITY = "downloads"
+DOWNLOADS_URI = Uri.content(AUTHORITY, "all_downloads")
+
+# Android DownloadManager status codes.
+STATUS_PENDING = 190
+STATUS_RUNNING = 192
+STATUS_SUCCESS = 200
+STATUS_ERROR_NETWORK = 495
+
+
+@dataclass
+class DownloadNotification:
+    """A completion notification: what the status bar would show."""
+
+    download_id: int
+    title: str
+    transparent_path: str
+    state: Optional[str]  # None = public; package = that initiator's Vol
+
+    @property
+    def is_volatile(self) -> bool:
+        return self.state is not None
+
+
+class DownloadsProvider(ContentProvider):
+    """Downloads store + background fetcher."""
+
+    authority = AUTHORITY
+    owner = None
+
+    DEFAULT_DIR = vpath.join(EXTDIR, "Download")
+
+    def __init__(self, network: NetworkStack, io: SystemStorageIO, system_process: Process):
+        self.proxy = CowProxy()
+        self.proxy.create_table(
+            "CREATE TABLE downloads ("
+            "_id INTEGER PRIMARY KEY, "
+            "uri TEXT, "
+            "_data TEXT, "
+            "title TEXT, "
+            "status INTEGER DEFAULT 190, "
+            "total_bytes INTEGER DEFAULT 0)"
+        )
+        self.proxy.create_table(
+            "CREATE TABLE request_headers ("
+            "_id INTEGER PRIMARY KEY, "
+            "download_id INTEGER, "
+            "header TEXT, "
+            "value TEXT)"
+        )
+        self._network = network
+        self._io = io
+        self._system_process = system_process
+        self.notifications: List[DownloadNotification] = []
+
+    # ------------------------------------------------------------------
+    # Provider operations
+    # ------------------------------------------------------------------
+
+    def insert(self, uri: Uri, values: ContentValues, context: TaskContext) -> Uri:
+        table = self._table_for(uri)
+        record = values.as_dict()
+        headers = record.pop("headers", None)
+        is_fetch_request = bool(record.get("uri"))
+        if table == "downloads" and "_data" not in record and is_fetch_request:
+            name = str(record.get("title") or f"download-{len(self.proxy.db.table('downloads')) + 1}")
+            record["_data"] = vpath.join(self.DEFAULT_DIR, name)
+        if context.is_delegate:
+            # Emulated network failure for a delegate's fetch request; pure
+            # metadata rows (no remote URI) are allowed.
+            if table == "downloads" and is_fetch_request:
+                record["status"] = STATUS_ERROR_NETWORK
+            row_id = self.proxy.insert(table, context.initiator, record)
+            return Uri.content(AUTHORITY, "all_downloads").with_appended_id(row_id)
+        if values.is_volatile:
+            if context.app is None:
+                raise SecurityException("isVolatile requires an app caller")
+            if table == "downloads" and is_fetch_request:
+                record.setdefault("status", STATUS_PENDING)
+            row_id = self.proxy.insert_volatile(table, context.app, record)
+            row_uri = DOWNLOADS_URI.to_volatile().with_appended_id(row_id)
+        else:
+            if table == "downloads" and is_fetch_request:
+                record.setdefault("status", STATUS_PENDING)
+            row_id = self.proxy.insert(table, None, record)
+            row_uri = DOWNLOADS_URI.with_appended_id(row_id)
+        if headers:
+            for header, value in dict(headers).items():
+                header_row = {"download_id": row_id, "header": header, "value": value}
+                if values.is_volatile:
+                    self.proxy.insert_volatile("request_headers", context.app, header_row)
+                else:
+                    self.proxy.insert("request_headers", None, header_row)
+        return row_uri
+
+    def update(
+        self,
+        uri: Uri,
+        values: ContentValues,
+        where: Optional[str],
+        params: Sequence[object],
+        context: TaskContext,
+    ) -> int:
+        table = self._table_for(uri)
+        initiator = self.initiator_of(context)
+        clause, bound = self._where_for(uri, where, params)
+        return self.proxy.update(table, initiator, values.as_dict(), clause, bound)
+
+    def delete(
+        self, uri: Uri, where: Optional[str], params: Sequence[object], context: TaskContext
+    ) -> int:
+        table = self._table_for(uri)
+        initiator = self.initiator_of(context)
+        clause, bound = self._where_for(uri, where, params)
+        return self.proxy.delete(table, initiator, clause, bound)
+
+    def query(
+        self,
+        uri: Uri,
+        projection: Optional[Sequence[str]],
+        where: Optional[str],
+        params: Sequence[object],
+        order_by: Optional[str],
+        context: TaskContext,
+    ) -> ResultSet:
+        table = self._table_for(uri)
+        if uri.is_volatile:
+            if context.is_delegate:
+                raise SecurityException("volatile URIs are reserved for initiators")
+            if context.app is None:
+                return ResultSet()
+            result = self.proxy.volatile_rows(table, context.app)
+            row_id = uri.to_normal().row_id
+            if row_id is not None and result.rows:
+                id_index = [c.lower() for c in result.columns].index("_id")
+                result = ResultSet(
+                    columns=result.columns,
+                    rows=[r for r in result.rows if r[id_index] == row_id],
+                )
+            return result
+        initiator = self.initiator_of(context)
+        clause, bound = self._where_for(uri, where, params)
+        return self.proxy.query(
+            table, initiator, projection=projection, where=clause, params=bound, order_by=order_by
+        )
+
+    def open_file(self, uri: Uri, context: TaskContext) -> bytes:
+        """Read a downloaded file's bytes via the File wrapper."""
+        row_id = uri.to_normal().row_id
+        if row_id is None:
+            raise FileNotFound(str(uri))
+        for row in self.proxy.admin_rows("downloads"):
+            if row["_id"] == row_id and not row["_whiteout"]:
+                state = self._state_package(str(row["_state"]))
+                return self._io.read(state, str(row["_data"]))
+        raise FileNotFound(str(uri))
+
+    # ------------------------------------------------------------------
+    # Background worker
+    # ------------------------------------------------------------------
+
+    def run_pending(self) -> int:
+        """Fetch every pending download (public and volatile). Returns the
+        number of downloads processed. The worker runs in the system
+        process, which is never a delegate, so the network is reachable."""
+        processed = 0
+        for row in self.proxy.admin_rows("downloads"):
+            if row["_whiteout"] or row["status"] != STATUS_PENDING:
+                continue
+            state = self._state_package(str(row["_state"]))
+            processed += 1
+            self._fetch_one(int(row["_id"]), str(row["uri"]), str(row["_data"]), state)
+        return processed
+
+    def _fetch_one(self, row_id: int, url: str, transparent_path: str, state: Optional[str]) -> None:
+        self._set_status(row_id, state, STATUS_RUNNING)
+        try:
+            host, resource = self._split_url(url)
+            socket = self._network.connect(self._system_process, host)
+            data = socket.fetch(resource)
+        except FileNotFound:
+            self._set_status(row_id, state, STATUS_ERROR_NETWORK)
+            return
+        self._io.write(state, transparent_path, data)
+        self._set_status(row_id, state, STATUS_SUCCESS, total_bytes=len(data))
+        title_result = self._row_value(row_id, state, "title")
+        self.notifications.append(
+            DownloadNotification(
+                download_id=row_id,
+                title=str(title_result or ""),
+                transparent_path=transparent_path,
+                state=state,
+            )
+        )
+
+    def _set_status(self, row_id: int, state: Optional[str], status: int, total_bytes: Optional[int] = None) -> None:
+        assignments: Dict[str, object] = {"status": status}
+        if total_bytes is not None:
+            assignments["total_bytes"] = total_bytes
+        table = "downloads" if state is None else self.proxy.delta_name("downloads", state)
+        sets = ", ".join(f"{c} = ?" for c in assignments)
+        self.proxy.db.execute(
+            f"UPDATE {table} SET {sets} WHERE _id = ?",
+            list(assignments.values()) + [row_id],
+        )
+
+    def _row_value(self, row_id: int, state: Optional[str], column: str) -> object:
+        table = "downloads" if state is None else self.proxy.delta_name("downloads", state)
+        return self.proxy.db.execute(
+            f"SELECT {column} FROM {table} WHERE _id = ?", [row_id]
+        ).scalar()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _split_url(url: str) -> "tuple[str, str]":
+        stripped = url.split("://", 1)[-1]
+        host, _, resource = stripped.partition("/")
+        return host, resource
+
+    @staticmethod
+    def _state_package(state: str) -> Optional[str]:
+        """Map an admin ``_state`` tag back to an initiator package key."""
+        if state == "public":
+            return None
+        return state[len("vol:") :]
+
+    @staticmethod
+    def _table_for(uri: Uri) -> str:
+        normal = uri.to_normal()
+        first = normal.segments[0] if normal.segments else ""
+        if first in ("all_downloads", "my_downloads", "downloads"):
+            return "downloads"
+        if first == "headers":
+            return "request_headers"
+        raise FileNotFound(str(uri))
+
+    @staticmethod
+    def _where_for(uri: Uri, where: Optional[str], params: Sequence[object]):
+        row_id = uri.to_normal().row_id
+        if row_id is None:
+            return where, list(params)
+        clause = "_id = ?"
+        if where:
+            clause = f"({where}) AND _id = ?"
+        return clause, list(params) + [row_id]

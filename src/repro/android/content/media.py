@@ -1,0 +1,230 @@
+"""The Media provider (paper sections 5.3 and 7.2).
+
+Media demonstrates the COW proxy's *view hierarchy*: a single base table
+``files`` stores every media record; ``images``, ``audio_meta`` and
+``video`` are SQL views selecting over it; ``audio`` is a view over three
+tables/views (``audio_meta`` joined with ``artists`` and ``albums``). The
+proxy rewrites each view's bases to COW views per initiator, on demand.
+
+Media also has active work beyond storage: scanning a file creates a
+thumbnail. Like Downloads, the modified provider tracks which state each
+record belongs to, and puts side artifacts (thumbnails) in the same state
+— a *public* scan leaves a public thumbnail on the SD card (one of the
+Table 1 traces), a *delegate's* scan leaves it in the initiator's
+volatile branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import FileNotFound, SecurityException
+from repro.android.content.provider import ContentProvider, ContentValues
+from repro.android.content.system_io import SystemStorageIO
+from repro.android.storage import EXTDIR
+from repro.android.uri import Uri
+from repro.core.cow import CowProxy
+from repro.kernel import path as vpath
+from repro.kernel.proc import TaskContext
+from repro.minisql.engine import ResultSet
+
+AUTHORITY = "media"
+FILES_URI = Uri.content(AUTHORITY, "files")
+
+MEDIA_TYPE_NONE = 0
+MEDIA_TYPE_IMAGE = 1
+MEDIA_TYPE_AUDIO = 2
+MEDIA_TYPE_VIDEO = 3
+
+THUMBNAIL_DIR = vpath.join(EXTDIR, "DCIM", ".thumbnails")
+
+
+class MediaProvider(ContentProvider):
+    """Media store with the paper's exact view hierarchy."""
+
+    authority = AUTHORITY
+    owner = None
+
+    #: URI path component -> (object name, is a single-table write target)
+    _SOURCES = {
+        "files": "files",
+        "images": "images",
+        "audio_meta": "audio_meta",
+        "video": "video",
+        "audio": "audio",
+        "artists": "artists",
+        "albums": "albums",
+    }
+
+    def __init__(self, io: SystemStorageIO):
+        self.proxy = CowProxy()
+        self.proxy.create_table(
+            "CREATE TABLE files ("
+            "_id INTEGER PRIMARY KEY, "
+            "_data TEXT, "
+            "media_type INTEGER DEFAULT 0, "
+            "title TEXT, "
+            "size INTEGER DEFAULT 0, "
+            "date_added INTEGER DEFAULT 0, "
+            "artist_id INTEGER, "
+            "album_id INTEGER)"
+        )
+        self.proxy.create_table(
+            "CREATE TABLE artists (artist_id INTEGER PRIMARY KEY, artist TEXT)"
+        )
+        self.proxy.create_table(
+            "CREATE TABLE albums (album_id INTEGER PRIMARY KEY, album TEXT)"
+        )
+        self.proxy.create_user_view(
+            "images",
+            "SELECT _id, _data, title, size, date_added FROM files WHERE media_type = 1",
+        )
+        self.proxy.create_user_view(
+            "audio_meta",
+            "SELECT _id, _data, title, size, artist_id, album_id FROM files "
+            "WHERE media_type = 2",
+        )
+        self.proxy.create_user_view(
+            "video",
+            "SELECT _id, _data, title, size, date_added FROM files WHERE media_type = 3",
+        )
+        # "audio is a view defined on three tables/views, including
+        # audio_meta" (paper 5.3).
+        self.proxy.create_user_view(
+            "audio",
+            "SELECT am._id, am._data, am.title, ar.artist, al.album "
+            "FROM audio_meta am, artists ar, albums al "
+            "WHERE am.artist_id = ar.artist_id AND am.album_id = al.album_id",
+        )
+        self._io = io
+        self.thumbnails_created: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def _source_for(self, uri: Uri) -> str:
+        normal = uri.to_normal()
+        first = normal.segments[0] if normal.segments else ""
+        source = self._SOURCES.get(first)
+        if source is None:
+            raise FileNotFound(str(uri))
+        return source
+
+    @staticmethod
+    def _where_for(uri: Uri, where: Optional[str], params: Sequence[object]):
+        row_id = uri.to_normal().row_id
+        if row_id is None:
+            return where, list(params)
+        clause = "_id = ?"
+        if where:
+            clause = f"({where}) AND _id = ?"
+        return clause, list(params) + [row_id]
+
+    # ------------------------------------------------------------------
+
+    def insert(self, uri: Uri, values: ContentValues, context: TaskContext) -> Uri:
+        source = self._source_for(uri)
+        if source not in ("files", "artists", "albums"):
+            raise SecurityException(f"{source} is a read-only view; insert into files")
+        record = values.as_dict()
+        generate_thumbnail = bool(record.pop("generate_thumbnail", False))
+        if values.is_volatile:
+            if context.is_delegate:
+                raise SecurityException(
+                    "only initiators may create volatile records explicitly"
+                )
+            if context.app is None:
+                raise SecurityException("isVolatile requires an app caller")
+            row_id = self.proxy.insert_volatile(source, context.app, record)
+            state: Optional[str] = context.app
+            row_uri = Uri.content(AUTHORITY, source).to_volatile().with_appended_id(row_id)
+        else:
+            initiator = self.initiator_of(context)
+            row_id = self.proxy.insert(source, initiator, record)
+            state = initiator
+            row_uri = Uri.content(AUTHORITY, source).with_appended_id(row_id)
+        if source == "files" and generate_thumbnail and record.get("_data"):
+            self._create_thumbnail(state, str(record["_data"]))
+        return row_uri
+
+    def _create_thumbnail(self, state: Optional[str], data_path: str) -> None:
+        """Write the thumbnail in the same state as its record."""
+        name = vpath.basename(data_path) + ".thumb"
+        thumb_path = vpath.join(THUMBNAIL_DIR, name)
+        try:
+            content = self._io.read(state, data_path)
+        except FileNotFound:
+            # The media file may live in the caller's private view (e.g. a
+            # delegate scanning an initiator-private file); thumbnail the
+            # name only.
+            content = b""
+        thumbnail = b"THUMB:" + content[:16]
+        self._io.write(state, thumb_path, thumbnail)
+        self.thumbnails_created.append(thumb_path)
+
+    def update(
+        self,
+        uri: Uri,
+        values: ContentValues,
+        where: Optional[str],
+        params: Sequence[object],
+        context: TaskContext,
+    ) -> int:
+        source = self._source_for(uri)
+        if source not in ("files", "artists", "albums"):
+            raise SecurityException(f"{source} is a read-only view; update files")
+        initiator = self.initiator_of(context)
+        clause, bound = self._where_for(uri, where, params)
+        return self.proxy.update(source, initiator, values.as_dict(), clause, bound)
+
+    def delete(
+        self, uri: Uri, where: Optional[str], params: Sequence[object], context: TaskContext
+    ) -> int:
+        source = self._source_for(uri)
+        if source not in ("files", "artists", "albums"):
+            raise SecurityException(f"{source} is a read-only view; delete from files")
+        initiator = self.initiator_of(context)
+        clause, bound = self._where_for(uri, where, params)
+        return self.proxy.delete(source, initiator, clause, bound)
+
+    def query(
+        self,
+        uri: Uri,
+        projection: Optional[Sequence[str]],
+        where: Optional[str],
+        params: Sequence[object],
+        order_by: Optional[str],
+        context: TaskContext,
+    ) -> ResultSet:
+        source = self._source_for(uri)
+        if uri.is_volatile:
+            if context.is_delegate:
+                raise SecurityException("volatile URIs are reserved for initiators")
+            if context.app is None:
+                return ResultSet()
+            if source not in ("files", "artists", "albums"):
+                raise SecurityException("volatile URIs address base tables")
+            result = self.proxy.volatile_rows(source, context.app)
+            row_id = uri.to_normal().row_id
+            if row_id is not None and result.rows:
+                id_index = 0
+                result = ResultSet(
+                    columns=result.columns,
+                    rows=[r for r in result.rows if r[id_index] == row_id],
+                )
+            return result
+        initiator = self.initiator_of(context)
+        clause, bound = self._where_for(uri, where, params)
+        return self.proxy.query(
+            source, initiator, projection=projection, where=clause, params=bound, order_by=order_by
+        )
+
+    def open_file(self, uri: Uri, context: TaskContext) -> bytes:
+        row_id = uri.to_normal().row_id
+        if row_id is None:
+            raise FileNotFound(str(uri))
+        for row in self.proxy.admin_rows("files"):
+            if row["_id"] == row_id and not row["_whiteout"]:
+                state = str(row["_state"])
+                package = None if state == "public" else state[len("vol:") :]
+                return self._io.read(package, str(row["_data"]))
+        raise FileNotFound(str(uri))

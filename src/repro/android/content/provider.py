@@ -1,0 +1,254 @@
+"""The content-provider framework: values, resolver, per-URI grants.
+
+Provider calls are Binder transactions, so the Maxoid Binder policy (a
+delegate may talk to system providers, its initiator, and sibling
+delegates) applies automatically. System content providers are trusted
+system endpoints; app-defined providers belong to their owning package.
+
+Per-URI permissions model Android's ``FLAG_GRANT_READ_URI_PERMISSION``
+(the Email-attachment mechanism, paper section 2.2): a one-time, read-only
+capability for one URI, checked when the target opens the URI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProviderNotFound, SecurityException
+from repro.android.uri import Uri
+from repro.kernel.binder import BinderDriver, Transaction
+from repro.kernel.proc import Process, TaskContext
+from repro.minisql.engine import ResultSet
+
+
+class ContentValues:
+    """Column values for an insert/update, plus Maxoid's ``isVolatile``
+    flag (paper section 6.1, initiator API 4)."""
+
+    def __init__(self, values: Optional[Dict[str, object]] = None, is_volatile: bool = False):
+        self._values: Dict[str, object] = dict(values or {})
+        self.is_volatile = is_volatile
+
+    def put(self, key: str, value: object) -> "ContentValues":
+        self._values[key] = value
+        return self
+
+    def get(self, key: str, default: object = None) -> object:
+        return self._values.get(key, default)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._values)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class ContentProvider:
+    """Base class for providers.
+
+    Subclasses implement the four content operations. ``context`` is the
+    *calling process's* task context: providers use it (via the Maxoid API
+    the paper describes) to select the correct view in the COW proxy.
+    """
+
+    authority: str = ""
+    #: Package owning an app-defined provider; None marks a trusted system
+    #: provider reachable by delegates.
+    owner: Optional[str] = None
+
+    def insert(self, uri: Uri, values: ContentValues, context: TaskContext) -> Uri:
+        raise NotImplementedError
+
+    def update(
+        self,
+        uri: Uri,
+        values: ContentValues,
+        where: Optional[str],
+        params: Sequence[object],
+        context: TaskContext,
+    ) -> int:
+        raise NotImplementedError
+
+    def delete(
+        self, uri: Uri, where: Optional[str], params: Sequence[object], context: TaskContext
+    ) -> int:
+        raise NotImplementedError
+
+    def query(
+        self,
+        uri: Uri,
+        projection: Optional[Sequence[str]],
+        where: Optional[str],
+        params: Sequence[object],
+        order_by: Optional[str],
+        context: TaskContext,
+    ) -> ResultSet:
+        raise NotImplementedError
+
+    def open_file(self, uri: Uri, context: TaskContext) -> bytes:
+        """Return the file content a URI maps to (the simulated
+        ParcelFileDescriptor hand-off)."""
+        raise NotImplementedError
+
+    # -- helper --------------------------------------------------------------
+
+    @staticmethod
+    def initiator_of(context: TaskContext) -> Optional[str]:
+        """The COW-proxy initiator for a caller: its initiator when it is a
+        delegate, else None (operate on public state)."""
+        return context.initiator if context.is_delegate else None
+
+
+@dataclass
+class _Grant:
+    grantee: str
+    uri: str
+    one_time: bool
+
+
+class UriPermissionGrants:
+    """Android's per-URI permission table (read grants only, as in the
+    Email case study)."""
+
+    def __init__(self) -> None:
+        self._grants: List[_Grant] = []
+
+    def grant(self, grantee: str, uri: Uri, one_time: bool = True) -> None:
+        self._grants.append(_Grant(grantee=grantee, uri=str(uri), one_time=one_time))
+
+    def consume(self, grantee: str, uri: Uri) -> bool:
+        """Check (and for one-time grants, consume) a read grant."""
+        key = str(uri)
+        for index, grant in enumerate(self._grants):
+            if grant.grantee == grantee and grant.uri == key:
+                if grant.one_time:
+                    del self._grants[index]
+                return True
+        return False
+
+    def has_grant(self, grantee: str, uri: Uri) -> bool:
+        key = str(uri)
+        return any(g.grantee == grantee and g.uri == key for g in self._grants)
+
+
+class ContentResolver:
+    """Routes content operations to providers over Binder."""
+
+    def __init__(self, binder: BinderDriver) -> None:
+        self._binder = binder
+        self._providers: Dict[str, ContentProvider] = {}
+        self.grants = UriPermissionGrants()
+
+    def register(self, provider: ContentProvider) -> None:
+        if not provider.authority:
+            raise ValueError("provider needs an authority")
+        self._providers[provider.authority] = provider
+        self._binder.register(
+            f"provider:{provider.authority}",
+            self._make_handler(provider),
+            owner=provider.owner,
+            is_system=provider.owner is None,
+        )
+
+    def provider(self, authority: str) -> ContentProvider:
+        provider = self._providers.get(authority)
+        if provider is None:
+            raise ProviderNotFound(authority)
+        return provider
+
+    def _make_handler(self, provider: ContentProvider):
+        def handler(transaction: Transaction) -> Any:
+            op = transaction.code
+            args = transaction.payload
+            context = transaction.sender_context
+            if op == "insert":
+                return provider.insert(args["uri"], args["values"], context)
+            if op == "update":
+                return provider.update(
+                    args["uri"], args["values"], args["where"], args["params"], context
+                )
+            if op == "delete":
+                return provider.delete(args["uri"], args["where"], args["params"], context)
+            if op == "query":
+                return provider.query(
+                    args["uri"],
+                    args["projection"],
+                    args["where"],
+                    args["params"],
+                    args["order_by"],
+                    context,
+                )
+            if op == "open_file":
+                return provider.open_file(args["uri"], context)
+            raise ValueError(f"unknown provider operation {op}")
+
+        return handler
+
+    # -- the client API ---------------------------------------------------
+
+    def _transact(self, process: Process, uri: Uri, code: str, payload: Dict[str, Any]) -> Any:
+        self.provider(uri.authority)  # fail fast with ProviderNotFound
+        return self._binder.transact(process, f"provider:{uri.authority}", code, payload)
+
+    def insert(self, process: Process, uri: Uri, values: ContentValues) -> Uri:
+        return self._transact(process, uri, "insert", {"uri": uri, "values": values})
+
+    def update(
+        self,
+        process: Process,
+        uri: Uri,
+        values: ContentValues,
+        where: Optional[str] = None,
+        params: Sequence[object] = (),
+    ) -> int:
+        return self._transact(
+            process, uri, "update", {"uri": uri, "values": values, "where": where, "params": params}
+        )
+
+    def delete(
+        self,
+        process: Process,
+        uri: Uri,
+        where: Optional[str] = None,
+        params: Sequence[object] = (),
+    ) -> int:
+        return self._transact(process, uri, "delete", {"uri": uri, "where": where, "params": params})
+
+    def query(
+        self,
+        process: Process,
+        uri: Uri,
+        projection: Optional[Sequence[str]] = None,
+        where: Optional[str] = None,
+        params: Sequence[object] = (),
+        order_by: Optional[str] = None,
+    ) -> ResultSet:
+        return self._transact(
+            process,
+            uri,
+            "query",
+            {
+                "uri": uri,
+                "projection": projection,
+                "where": where,
+                "params": params,
+                "order_by": order_by,
+            },
+        )
+
+    def open_input(self, process: Process, uri: Uri) -> bytes:
+        """Open a provider URI for reading. For app-defined providers this
+        checks per-URI grants (unless the caller is the owner, its
+        delegate running for the owner's initiator chain, or was granted)."""
+        provider = self.provider(uri.authority)
+        if provider.owner is not None and process.context.app != provider.owner:
+            caller = process.context.app or ""
+            if not self.grants.consume(caller, uri):
+                raise SecurityException(
+                    f"{process.context} has no grant for {uri}"
+                )
+        return self._transact(process, uri, "open_file", {"uri": uri})

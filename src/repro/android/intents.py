@@ -1,0 +1,111 @@
+"""Intents and intent filters.
+
+An :class:`Intent` describes an invocation: an action, optional data URI,
+optional explicit target component, extras, and flags. The Activity
+Manager resolves implicit intents against installed apps' intent filters.
+
+Maxoid adds one new flag, :data:`Intent.FLAG_MAXOID_DELEGATE`
+("a new flag in Intent", paper section 6.1): when an initiator sets it,
+the invoked app starts as the initiator's delegate. Initiators may instead
+declare intent filters in their Maxoid manifest so that no code change is
+needed (see :mod:`repro.core.manifest`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.android.uri import Uri
+
+
+class Intent:
+    """One inter-app invocation request."""
+
+    # Android flags (subset).
+    FLAG_GRANT_READ_URI_PERMISSION = 0x1
+    FLAG_GRANT_WRITE_URI_PERMISSION = 0x2
+    # The Maxoid extension (paper 6.1): invoke the target as my delegate.
+    FLAG_MAXOID_DELEGATE = 0x10000
+
+    # Common actions.
+    ACTION_VIEW = "android.intent.action.VIEW"
+    ACTION_EDIT = "android.intent.action.EDIT"
+    ACTION_SEND = "android.intent.action.SEND"
+    ACTION_MAIN = "android.intent.action.MAIN"
+    ACTION_PICK = "android.intent.action.PICK"
+    ACTION_SCAN = "com.google.zxing.client.android.SCAN"
+    ACTION_IMAGE_CAPTURE = "android.media.action.IMAGE_CAPTURE"
+    ACTION_DOWNLOAD_COMPLETE = "android.intent.action.DOWNLOAD_COMPLETE"
+
+    _id_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        action: str,
+        data: Optional[Uri] = None,
+        component: Optional[str] = None,
+        mime_type: Optional[str] = None,
+        extras: Optional[Dict[str, Any]] = None,
+        flags: int = 0,
+    ) -> None:
+        self.intent_id = next(Intent._id_counter)
+        self.action = action
+        self.data = data
+        self.component = component  # explicit target package, or None
+        self.mime_type = mime_type
+        self.extras: Dict[str, Any] = dict(extras or {})
+        self.flags = flags
+
+    def add_flag(self, flag: int) -> "Intent":
+        self.flags |= flag
+        return self
+
+    def has_flag(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def wants_delegate(self) -> bool:
+        return self.has_flag(Intent.FLAG_MAXOID_DELEGATE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = self.component or "<implicit>"
+        return f"<Intent {self.action} -> {target} data={self.data}>"
+
+
+@dataclass
+class IntentFilter:
+    """Matches intents by action, data scheme, authority and MIME prefix.
+
+    Used both by apps (to declare what they handle) and by Maxoid manifests
+    (to declare which of an initiator's outgoing intents are private,
+    paper section 6.1).
+    """
+
+    actions: List[str] = field(default_factory=list)
+    schemes: List[str] = field(default_factory=list)
+    authorities: List[str] = field(default_factory=list)
+    mime_prefixes: List[str] = field(default_factory=list)
+    #: Resolution tie-break, like Android's filter priority: higher wins.
+    priority: int = 0
+
+    def matches(self, intent: Intent) -> bool:
+        if self.actions and intent.action not in self.actions:
+            return False
+        if intent.data is not None:
+            # Android-like data matching: an intent carrying a data URI only
+            # matches filters that declare a compatible scheme.
+            if intent.data.scheme not in self.schemes:
+                return False
+        elif self.schemes:
+            return False
+        if self.authorities:
+            if intent.data is None or intent.data.authority not in self.authorities:
+                return False
+        if self.mime_prefixes:
+            if intent.mime_type is None:
+                return False
+            if not any(intent.mime_type.startswith(p) for p in self.mime_prefixes):
+                return False
+        return True

@@ -1,0 +1,47 @@
+"""Android install-time permissions.
+
+Maxoid keeps Android's permission model intact: a delegate may access a
+public resource only if its app holds the corresponding permission
+(``Pub(x) ∩ Perms(x)`` in the paper's notation, section 3). Permissions are
+granted at install time from the app manifest, as in Android 4.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable
+
+
+class Permission(enum.Enum):
+    """The permission strings the simulated apps use."""
+
+    INTERNET = "android.permission.INTERNET"
+    READ_EXTERNAL_STORAGE = "android.permission.READ_EXTERNAL_STORAGE"
+    WRITE_EXTERNAL_STORAGE = "android.permission.WRITE_EXTERNAL_STORAGE"
+    CAMERA = "android.permission.CAMERA"
+    READ_USER_DICTIONARY = "android.permission.READ_USER_DICTIONARY"
+    WRITE_USER_DICTIONARY = "android.permission.WRITE_USER_DICTIONARY"
+    READ_CONTACTS = "android.permission.READ_CONTACTS"
+    WRITE_CONTACTS = "android.permission.WRITE_CONTACTS"
+    ACCESS_DOWNLOAD_MANAGER = "android.permission.ACCESS_DOWNLOAD_MANAGER"
+    BLUETOOTH = "android.permission.BLUETOOTH"
+    SEND_SMS = "android.permission.SEND_SMS"
+    READ_MEDIA = "android.permission.READ_MEDIA"
+    WRITE_MEDIA = "android.permission.WRITE_MEDIA"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def permission_set(perms: Iterable[Permission]) -> FrozenSet[Permission]:
+    return frozenset(perms)
+
+
+#: A convenient "typical data-processing app" grant set.
+COMMON_APP_PERMISSIONS = permission_set(
+    [
+        Permission.READ_EXTERNAL_STORAGE,
+        Permission.WRITE_EXTERNAL_STORAGE,
+        Permission.INTERNET,
+    ]
+)

@@ -1,0 +1,15 @@
+"""System services Maxoid modifies (paper section 6.2, item 5)."""
+
+from repro.android.services.clipboard import ClipboardService
+from repro.android.services.bluetooth import BluetoothService
+from repro.android.services.telephony import TelephonyService
+from repro.android.services.download_manager import DownloadManager
+from repro.android.services.media_scanner import MediaScanner
+
+__all__ = [
+    "ClipboardService",
+    "BluetoothService",
+    "TelephonyService",
+    "DownloadManager",
+    "MediaScanner",
+]

@@ -1,0 +1,29 @@
+"""Bluetooth Manager Service with the Maxoid delegate guard.
+
+Paper section 6.2: "Bluetooth Manager Service ... modified to prevent
+delegates from sending data via Bluetooth". Bluetooth is an off-device
+channel Maxoid cannot label, so it is treated like the network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.netguard import assert_not_delegate
+from repro.kernel.proc import Process
+
+
+class BluetoothService:
+    """Records sends so experiments can audit the egress surface."""
+
+    def __init__(self, maxoid_enabled: bool = True) -> None:
+        self._maxoid = maxoid_enabled
+        self.sent: List[Tuple[str, bytes]] = []  # (sender context, payload)
+
+    def send(self, process: Process, device: str, payload: bytes) -> None:
+        if self._maxoid:
+            assert_not_delegate(process.context, "bluetooth")
+        self.sent.append((str(process.context), payload))
+
+    def leaked(self, secret: bytes) -> bool:
+        return any(secret in payload for _, payload in self.sent)

@@ -1,0 +1,53 @@
+"""The Clipboard service.
+
+Paper section 6.2: "Clipboard Service is modified to create separate
+clipboard instances for delegates." A delegate pasting would otherwise
+read whatever the user last copied anywhere (an input channel); a delegate
+*copying* would leak initiator secrets to every other app (an output
+channel). Maxoid gives each confinement domain its own clipboard: the
+main clipboard for initiators, one per initiator package for that
+initiator's delegates.
+
+With ``maxoid_enabled=False`` (the baseline) there is a single global
+clipboard — the stock Android behaviour the Table 1 audit exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kernel.proc import Process
+
+
+class ClipboardService:
+    """Per-confinement-domain clipboards."""
+
+    _MAIN = "<main>"
+
+    def __init__(self, maxoid_enabled: bool = True) -> None:
+        self._maxoid = maxoid_enabled
+        self._clips: Dict[str, Optional[str]] = {self._MAIN: None}
+
+    def _domain(self, process: Process) -> str:
+        if not self._maxoid:
+            return self._MAIN
+        context = process.context
+        if context.is_delegate and context.initiator is not None:
+            return f"vol:{context.initiator}"
+        return self._MAIN
+
+    def set_text(self, process: Process, text: str) -> None:
+        self._clips[self._domain(process)] = text
+
+    def get_text(self, process: Process) -> Optional[str]:
+        domain = self._domain(process)
+        if domain in self._clips:
+            return self._clips[domain]
+        # A delegate's first paste sees the pre-confinement clipboard
+        # content (initial state availability, U1): fork from main.
+        self._clips[domain] = self._clips[self._MAIN]
+        return self._clips[domain]
+
+    def clear_domain(self, initiator: str) -> None:
+        """Discard the delegate clipboard of ``initiator`` (Clear-Vol)."""
+        self._clips.pop(f"vol:{initiator}", None)

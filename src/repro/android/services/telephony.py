@@ -1,0 +1,28 @@
+"""Telephony (SMS) with the Maxoid delegate guard.
+
+Paper section 6.2: "Telephony Provider [is] modified to prevent delegates
+from sending data via ... SMS services."
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.netguard import assert_not_delegate
+from repro.kernel.proc import Process
+
+
+class TelephonyService:
+    """SMS out-channel; records messages for egress auditing."""
+
+    def __init__(self, maxoid_enabled: bool = True) -> None:
+        self._maxoid = maxoid_enabled
+        self.messages: List[Tuple[str, str, str]] = []  # (context, number, body)
+
+    def send_sms(self, process: Process, number: str, body: str) -> None:
+        if self._maxoid:
+            assert_not_delegate(process.context, "sms")
+        self.messages.append((str(process.context), number, body))
+
+    def leaked(self, secret: str) -> bool:
+        return any(secret in body for _, _, body in self.messages)

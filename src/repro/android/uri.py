@@ -1,0 +1,90 @@
+"""``content://`` URIs.
+
+System content providers map URIs to rows: ``content://user_dictionary/
+words`` is the whole table, ``content://user_dictionary/words/7`` is the
+row with ``_id=7``. Maxoid adds *volatile URIs* with a ``tmp`` component —
+``content://user_dictionary/tmp/words/7`` — which initiators use to read
+their delegates' volatile records (paper section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Uri:
+    """An immutable content URI: scheme, authority, path segments."""
+
+    scheme: str
+    authority: str
+    segments: Tuple[str, ...] = ()
+
+    SCHEME_CONTENT = "content"
+    SCHEME_FILE = "file"
+
+    @classmethod
+    def parse(cls, text: str) -> "Uri":
+        """Parse ``scheme://authority/seg1/seg2`` into a :class:`Uri`."""
+        scheme, _, rest = text.partition("://")
+        if not rest:
+            raise ValueError(f"not a URI: {text!r}")
+        authority, _, path = rest.partition("/")
+        segments = tuple(s for s in path.split("/") if s)
+        return cls(scheme=scheme, authority=authority, segments=segments)
+
+    @classmethod
+    def content(cls, authority: str, *segments: str) -> "Uri":
+        return cls(scheme=cls.SCHEME_CONTENT, authority=authority, segments=tuple(segments))
+
+    @classmethod
+    def file(cls, path: str) -> "Uri":
+        segments = tuple(s for s in path.split("/") if s)
+        return cls(scheme=cls.SCHEME_FILE, authority="", segments=segments)
+
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        path = "/".join(self.segments)
+        return f"{self.scheme}://{self.authority}/{path}" if path else f"{self.scheme}://{self.authority}"
+
+    @property
+    def path(self) -> str:
+        return "/" + "/".join(self.segments)
+
+    @property
+    def last_segment(self) -> Optional[str]:
+        return self.segments[-1] if self.segments else None
+
+    def with_appended(self, segment: str) -> "Uri":
+        return Uri(self.scheme, self.authority, self.segments + (str(segment),))
+
+    def with_appended_id(self, row_id: int) -> "Uri":
+        return self.with_appended(str(row_id))
+
+    @property
+    def row_id(self) -> Optional[int]:
+        """The trailing numeric id, if the URI names a single row."""
+        if self.segments and self.segments[-1].isdigit():
+            return int(self.segments[-1])
+        return None
+
+    # -- Maxoid volatile URIs -------------------------------------------
+
+    @property
+    def is_volatile(self) -> bool:
+        """True for volatile URIs (``tmp`` as the first path component)."""
+        return bool(self.segments) and self.segments[0] == "tmp"
+
+    def to_volatile(self) -> "Uri":
+        """``content://auth/words/7`` -> ``content://auth/tmp/words/7``."""
+        if self.is_volatile:
+            return self
+        return Uri(self.scheme, self.authority, ("tmp",) + self.segments)
+
+    def to_normal(self) -> "Uri":
+        """Strip the ``tmp`` component if present."""
+        if not self.is_volatile:
+            return self
+        return Uri(self.scheme, self.authority, self.segments[1:])

@@ -1,0 +1,73 @@
+"""Zygote: the app-process spawner (paper sections 3.5, 4.2, 6.2).
+
+Zygote runs as root. For each new app process it: creates a private mount
+namespace (``unshare()``), asks the **Aufs branch manager** to select and
+mount the branches for the app's execution context, writes the app and
+initiator identity into the kernel via sysfs, and finally drops privileges
+to the app's UID.
+
+The branch-manager step is a hook: the stock hook mounts nothing special
+(plain Android), the Maxoid hook (installed by
+:class:`repro.core.device.Device`) materializes the Table 2 mount plan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel.mounts import MountNamespace
+from repro.kernel.proc import Process, ProcessTable, TaskContext
+from repro.kernel.sysfs import Sysfs
+from repro.kernel.vfs import Credentials, ROOT_CRED
+from repro.android.packages import PackageManager
+
+# Hook signature: (package, initiator-or-None) -> the process's namespace.
+NamespaceBuilder = Callable[[str, Optional[str]], MountNamespace]
+
+
+class Zygote:
+    """Forks app processes with the right namespace, context and UID."""
+
+    def __init__(
+        self,
+        process_table: ProcessTable,
+        sysfs: Sysfs,
+        package_manager: PackageManager,
+        namespace_builder: NamespaceBuilder,
+        maxoid_enabled: bool = True,
+    ) -> None:
+        self._processes = process_table
+        self._sysfs = sysfs
+        self._packages = package_manager
+        self._build_namespace = namespace_builder
+        # On stock Android delegation does not exist: any requested
+        # initiator is ignored and the app simply runs as itself.
+        self._maxoid_enabled = maxoid_enabled
+        self.forks = 0
+
+    def fork_app(self, package: str, initiator: Optional[str] = None) -> Process:
+        """Spawn ``package``; as ``initiator``'s delegate when given.
+
+        Mirrors the real sequence: fork (still root), unshare + mount via
+        the branch manager, stamp sysfs, drop privilege to the app UID.
+        """
+        installed = self._packages.get(package)
+        if not self._maxoid_enabled:
+            initiator = None
+        if initiator is not None and initiator != package:
+            self._packages.get(initiator)  # must exist
+        namespace = self._build_namespace(package, initiator)
+        effective_initiator = initiator if initiator != package else None
+        context = TaskContext(app=package, initiator=effective_initiator)
+        # The process is created as root, then immediately demoted — app
+        # code never runs with the root credential (so it can never mount).
+        process = Process(
+            cred=Credentials(uid=installed.uid),
+            namespace=namespace,
+            context=context,
+            name=str(context),
+        )
+        self._processes.register(process)
+        self._sysfs.write_context(process.pid, package, effective_initiator, ROOT_CRED)
+        self.forks += 1
+        return process

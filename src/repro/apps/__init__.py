@@ -1,0 +1,45 @@
+"""Simulated real-world apps for the paper's case studies (section 2.2).
+
+Each app reproduces the *state-leaving behaviour* Table 1 catalogues for
+its category — recent-file lists in shared preferences or private
+databases, copies and thumbnails on the SD card, Media-provider entries —
+plus the four "apps that need help" (Dropbox, Google Drive, Email,
+Browser) and the Maxoid-aware EBookDroid and wrapper app (section 7.1).
+"""
+
+from repro.apps.base import SimApp, AppBuild
+from repro.apps.pdf_viewer import PdfViewerApp
+from repro.apps.office import OfficeApp
+from repro.apps.scanner import BarcodeScannerApp, CamScannerApp
+from repro.apps.camera import CameraApp
+from repro.apps.video import VideoPlayerApp
+from repro.apps.dropbox import DropboxApp
+from repro.apps.gdrive import GoogleDriveApp
+from repro.apps.email_app import EmailApp
+from repro.apps.browser import BrowserApp
+from repro.apps.ebookdroid import EBookDroidApp
+from repro.apps.wrapper import WrapperApp
+from repro.apps.catalog import install_standard_apps, STANDARD_PACKAGES
+from repro.apps.fleet import build_study_fleet, install_fleet, run_fleet_as_delegates
+
+__all__ = [
+    "SimApp",
+    "AppBuild",
+    "PdfViewerApp",
+    "OfficeApp",
+    "BarcodeScannerApp",
+    "CamScannerApp",
+    "CameraApp",
+    "VideoPlayerApp",
+    "DropboxApp",
+    "GoogleDriveApp",
+    "EmailApp",
+    "BrowserApp",
+    "EBookDroidApp",
+    "WrapperApp",
+    "install_standard_apps",
+    "STANDARD_PACKAGES",
+    "build_study_fleet",
+    "install_fleet",
+    "run_fleet_as_delegates",
+]

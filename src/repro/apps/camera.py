@@ -1,0 +1,52 @@
+"""A camera app modelled on CameraMX (Table 1, row 3).
+
+Taking a photo leaves the photo file on the SD card and a new entry in the
+Media provider; editing a photo leaves another Media entry. Both tasks
+appear in Table 5's application benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+
+PACKAGE = "com.magix.camera_mx"
+
+
+class CameraApp(SimApp):
+    """CameraMX-like camera + photo editor."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="CameraMX",
+        handles=[IntentFilter(actions=[Intent.ACTION_IMAGE_CAPTURE, Intent.ACTION_EDIT])],
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shot_counter = itertools.count(1)
+
+    def on_image_capture(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        """Take a photo: file on SD + Media provider entry."""
+        sensor_data = intent.extras.get("frame", b"\xff\xd8JPEGDATA")
+        shot = next(self._shot_counter)
+        relative = f"DCIM/Camera/IMG_{shot:04d}.jpg"
+        path = api.write_external(relative, bytes(sensor_data))
+        media_uri = api.scan_media(path)
+        return {"path": path, "media_uri": str(media_uri)}
+
+    def on_edit(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        """Edit a photo and save the result: a new SD file + Media entry."""
+        source = str(intent.extras["path"])
+        original = api.sys.read_file(source)
+        edited = b"EDITED:" + original
+        name = vpath.basename(source).rsplit(".", 1)[0]
+        relative = f"DCIM/Camera/{name}_edit.jpg"
+        path = api.write_external(relative, edited)
+        media_uri = api.scan_media(path)
+        return {"path": path, "media_uri": str(media_uri)}

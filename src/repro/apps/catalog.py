@@ -1,0 +1,50 @@
+"""App catalog: install the paper's study set onto a device.
+
+Gives experiments one call to stand up the 2.2 case-study environment:
+the data-processing apps of Table 1 plus the four apps that need help,
+the Maxoid-aware EBookDroid, and the wrapper app.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.base import SimApp
+from repro.apps.browser import BrowserApp
+from repro.apps.camera import CameraApp
+from repro.apps.dropbox import DropboxApp
+from repro.apps.ebookdroid import EBookDroidApp
+from repro.apps.email_app import EmailApp
+from repro.apps.gdrive import GoogleDriveApp
+from repro.apps.office import OfficeApp
+from repro.apps.pdf_viewer import PdfViewerApp
+from repro.apps.scanner import BarcodeScannerApp, CamScannerApp
+from repro.apps.video import VideoPlayerApp
+from repro.apps.wrapper import WrapperApp
+
+#: All catalogued app classes, keyed by package name.
+STANDARD_PACKAGES = {
+    cls.BUILD.package: cls
+    for cls in (
+        PdfViewerApp,
+        OfficeApp,
+        BarcodeScannerApp,
+        CamScannerApp,
+        CameraApp,
+        VideoPlayerApp,
+        DropboxApp,
+        GoogleDriveApp,
+        EmailApp,
+        BrowserApp,
+        EBookDroidApp,
+        WrapperApp,
+    )
+}
+
+
+def install_standard_apps(device: Any) -> Dict[str, SimApp]:
+    """Install every catalogued app; returns package -> app instance."""
+    installed: Dict[str, SimApp] = {}
+    for package, cls in STANDARD_PACKAGES.items():
+        installed[package] = cls.install(device)
+    return installed

@@ -1,0 +1,158 @@
+"""The 77-app study fleet (paper sections 2.2 and 7.1).
+
+The paper manually studies 77 popular data-processing apps in four
+categories (Table 1: 17 document apps, 20 scanners, 30 photo apps, 10
+media players) and reports that, run as delegates, *74 of the 77 work* —
+only three (DocuSign, EasySign, ThinkTI Document Converter) fail, because
+they need the network while processing.
+
+This module synthesizes a comparable fleet: generic apps per category
+whose processing step performs the category's Table 1 state-leaving
+behaviour, three of which additionally require a network round-trip
+mid-processing. Running the fleet as delegates reproduces the 74/77
+result and the full Table 1 trace census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+
+#: Category sizes from Table 1.
+CATEGORY_SIZES = {"document": 17, "scanner": 20, "photo": 30, "media": 10}
+
+#: The three apps the paper found non-functional as delegates.
+NETWORK_DEPENDENT = {
+    "com.docusign.ink",
+    "com.easysign.esign",
+    "com.thinkti.converter",
+}
+
+
+class GenericProcessorApp(SimApp):
+    """A data-processing app parameterized by category.
+
+    Its single operation reads the target file and leaves the category's
+    Table 1 traces. Network-dependent variants (the DocuSign class of
+    apps) must also reach their backend mid-processing — which is exactly
+    what a delegate cannot do.
+    """
+
+    def __init__(self, package: str, category: str, needs_network: bool) -> None:
+        self.BUILD = AppBuild(
+            package=package,
+            label=package.rsplit(".", 1)[-1],
+            handles=[IntentFilter(actions=[Intent.ACTION_VIEW, Intent.ACTION_SCAN])],
+        )
+        super().__init__()
+        self.category = category
+        self.needs_network = needs_network
+
+    def on_view(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        path = str(intent.extras.get("path", ""))
+        data = api.sys.read_file(path) if path and api.sys.exists(path) else b"DATA"
+        name = vpath.basename(path) or "item"
+        if self.needs_network:
+            # DocuSign-style processing: the document goes to the backend.
+            socket = api.connect(f"{self.BUILD.package}.example")
+            socket.send(data)
+            socket.close()
+        self._leave_traces(api, name, data)
+        return {"name": name, "bytes": len(data)}
+
+    on_scan = on_view
+
+    def _leave_traces(self, api: AppApi, name: str, data: bytes) -> None:
+        if self.category == "document":
+            api.prefs.append_to_list("recent_files", name)
+            api.write_external(f"{self.BUILD.label}/cache/{name}", data)
+        elif self.category == "scanner":
+            db = api.db("scans")
+            if "scans" not in db.table_names():
+                db.execute("CREATE TABLE scans (id INTEGER PRIMARY KEY, name TEXT)")
+            db.execute("INSERT INTO scans (name) VALUES (?)", [name])
+            api.write_external(f"{self.BUILD.label}/out/{name}.jpg", b"IMG:" + data[:8])
+        elif self.category == "photo":
+            path = api.write_external(f"DCIM/{self.BUILD.label}/{name}.jpg", data or b"\xff\xd8")
+            api.scan_media(path)
+        else:  # media
+            db = api.db("playback")
+            if "history" not in db.table_names():
+                db.execute("CREATE TABLE history (id INTEGER PRIMARY KEY, name TEXT)")
+            db.execute("INSERT INTO history (name) VALUES (?)", [name])
+            api.write_external(f"{self.BUILD.label}/.thumbs/{name}.jpg", b"THUMB")
+
+
+@dataclass
+class FleetApp:
+    package: str
+    category: str
+    needs_network: bool
+    app: GenericProcessorApp
+
+
+def build_study_fleet() -> List[FleetApp]:
+    """The 77 apps: category sizes from Table 1, three network-dependent."""
+    fleet: List[FleetApp] = []
+    network_packages = iter(sorted(NETWORK_DEPENDENT))
+    # The three network apps are document-category (signature/conversion
+    # services), as in the paper.
+    document_packages = list(NETWORK_DEPENDENT)
+    for category, size in CATEGORY_SIZES.items():
+        existing = len(document_packages) if category == "document" else 0
+        for index in range(size - existing):
+            package = f"com.study.{category}{index:02d}"
+            fleet.append(
+                FleetApp(
+                    package=package,
+                    category=category,
+                    needs_network=False,
+                    app=GenericProcessorApp(package, category, needs_network=False),
+                )
+            )
+        if category == "document":
+            for package in document_packages:
+                fleet.append(
+                    FleetApp(
+                        package=package,
+                        category=category,
+                        needs_network=True,
+                        app=GenericProcessorApp(package, category, needs_network=True),
+                    )
+                )
+    assert len(fleet) == sum(CATEGORY_SIZES.values()) == 77
+    return fleet
+
+
+def install_fleet(device: Any) -> List[FleetApp]:
+    """Install all 77 apps (and their backends for the networked three)."""
+    fleet = build_study_fleet()
+    for member in fleet:
+        device.install(member.app.BUILD.manifest(), member.app)
+        if member.needs_network:
+            device.network.add_host(f"{member.package}.example")
+    return fleet
+
+
+def run_fleet_as_delegates(device: Any, initiator: str, path: str):
+    """Run every fleet app once as ``initiator``'s delegate on ``path``.
+
+    Returns ``(worked, failed)`` package lists — the paper's 74/77 census.
+    """
+    from repro.errors import NetworkUnreachable
+
+    worked: List[str] = []
+    failed: List[str] = []
+    for member in install_fleet(device):
+        api = device.spawn(member.package, initiator=initiator)
+        try:
+            member.app.main(api, Intent(Intent.ACTION_VIEW, extras={"path": path}))
+            worked.append(member.package)
+        except NetworkUnreachable:
+            failed.append(member.package)
+    return worked, failed

@@ -1,0 +1,71 @@
+"""An office suite modelled on Kingsoft Office (Table 1, row 1).
+
+State left after opening a document:
+
+- private: recent files in an app-defined format ("ADF") file;
+- public: a thumbnail for the file on the SD card, and entries in a
+  database *stored on the SD card* (Kingsoft keeps an index DB on public
+  storage — the worst of Table 1's public traces).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+
+PACKAGE = "cn.wps.moffice"
+
+
+class OfficeApp(SimApp):
+    """Kingsoft-Office-like editor."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="Kingsoft Office",
+        handles=[
+            IntentFilter(actions=[Intent.ACTION_VIEW, Intent.ACTION_EDIT]),
+        ],
+    )
+
+    def on_view(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        return self._open(api, intent, edit=False)
+
+    def on_edit(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        return self._open(api, intent, edit=True)
+
+    def _open(self, api: AppApi, intent: Intent, edit: bool) -> Dict[str, Any]:
+        path = str(intent.extras["path"])
+        data = api.sys.read_file(path)
+        name = vpath.basename(path)
+        # Private trace: app-defined-format recents file.
+        recents_path = "recents.adf"
+        try:
+            existing = api.read_internal(recents_path)
+        except Exception:
+            existing = b""
+        api.write_internal(recents_path, existing + name.encode() + b"\n")
+        # Public traces: a thumbnail and an SD-card index database.
+        thumb = api.write_external(f".thumbnails/{name}.png", b"THUMB:" + data[:8])
+        self._index_on_sdcard(api, name, len(data))
+        result: Dict[str, Any] = {"name": name, "bytes": len(data), "thumbnail": thumb}
+        if edit:
+            new_data = data + b"\n[edited with office]"
+            api.sys.write_file(path, new_data)
+            result["edited"] = True
+        return result
+
+    @staticmethod
+    def _index_on_sdcard(api: AppApi, name: str, size: int) -> None:
+        """Append an entry to the public index DB on the SD card (stored as
+        a file so it is subject to file views, like the real app's SQLite
+        file on external storage)."""
+        index_path = "office/index.db"
+        try:
+            existing = api.read_external(index_path)
+        except Exception:
+            existing = b""
+        api.write_external(index_path, existing + f"{name},{size}\n".encode())

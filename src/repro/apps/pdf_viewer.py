@@ -1,0 +1,118 @@
+"""A document viewer modelled on Adobe Reader (Table 1, row 1).
+
+State left after opening a file:
+
+- private: the recent-files list in shared preferences (the "XML" trace);
+- public: a copy of the document on the SD card *when opened via a
+  content URI* (Adobe Reader materializes content streams to a file).
+
+It also performs a CPU-ish "render" and an in-file search so the Table 5
+application benchmark has the same task mix as the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.android.uri import Uri
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+
+PACKAGE = "com.adobe.reader"
+
+
+class PdfViewerApp(SimApp):
+    """Adobe-Reader-like viewer."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="Adobe Reader",
+        handles=[
+            IntentFilter(
+                actions=[Intent.ACTION_VIEW], mime_prefixes=["application/pdf"], priority=2
+            ),
+            IntentFilter(
+                actions=[Intent.ACTION_VIEW], schemes=["file", "content"], priority=2
+            ),
+            # Catch-all for plain path-extra invocations (the default
+            # document viewer in the case studies).
+            IntentFilter(actions=[Intent.ACTION_VIEW], priority=1),
+        ],
+    )
+
+    SD_COPY_DIR = "AdobeReader/cache"
+
+    def on_view(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        """Open a document given as a path extra, file URI or content URI."""
+        data, name, via_content_uri = self._load_document(api, intent)
+        # Private trace: recent files in shared preferences.
+        api.prefs.append_to_list("recent_files", name, max_length=20)
+        # Public trace: Adobe Reader saves a copy to the SD card when the
+        # source was a content URI (Table 1).
+        copied_to = None
+        if via_content_uri:
+            copied_to = api.write_external(f"{self.SD_COPY_DIR}/{name}", data)
+        rendered_pages = self._render(data)
+        return {
+            "name": name,
+            "bytes": len(data),
+            "pages": rendered_pages,
+            "sd_copy": copied_to,
+        }
+
+    def search(self, api: AppApi, document: bytes, needle: bytes) -> int:
+        """In-file search (Table 5's second Adobe Reader task)."""
+        count = 0
+        start = 0
+        while True:
+            index = document.find(needle, start)
+            if index < 0:
+                return count
+            count += 1
+            start = index + 1
+
+    # ------------------------------------------------------------------
+
+    def _load_document(self, api: AppApi, intent: Intent):
+        if "path" in intent.extras:
+            path = str(intent.extras["path"])
+            return api.sys.read_file(path), vpath.basename(path), False
+        uri = intent.data
+        if uri is None:
+            raise ValueError("nothing to open")
+        if uri.scheme == Uri.SCHEME_FILE:
+            return api.sys.read_file(uri.path), vpath.basename(uri.path), False
+        data = api.open_input(uri)
+        name = self._display_name(api, uri)
+        return data, name, True
+
+    @staticmethod
+    def _display_name(api: AppApi, uri: Uri) -> str:
+        """Resolve a content URI's display name, like real viewers do with
+        OpenableColumns.DISPLAY_NAME; falls back to the last segment."""
+        try:
+            result = api.query(uri)
+            columns = [c.lower() for c in result.columns]
+            if "name" in columns and result.rows:
+                name_index = columns.index("name")
+                row_id = uri.row_id
+                if "_id" in columns and row_id is not None:
+                    id_index = columns.index("_id")
+                    for row in result.rows:
+                        if row[id_index] == row_id:
+                            return str(row[name_index])
+                return str(result.rows[0][name_index])
+        except Exception:
+            pass
+        return uri.last_segment or "document.pdf"
+
+    @staticmethod
+    def _render(data: bytes) -> int:
+        """A stand-in for rendering: deterministic byte crunching whose cost
+        scales with document size (CPU-bound, so Maxoid adds nothing)."""
+        checksum = 0
+        for chunk in range(0, len(data), 64):
+            checksum = (checksum * 31 + data[chunk]) & 0xFFFFFFFF
+        return max(1, len(data) // 4096)

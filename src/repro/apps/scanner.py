@@ -1,0 +1,84 @@
+"""Scanner apps (Table 1, row 2).
+
+- :class:`BarcodeScannerApp` (ZXing Barcode Scanner): scanning a QR code
+  leaves the decoded text in a private recent-scans database — "the
+  browser's incognito mode cannot erase the data's history in the
+  scanning app" (section 2.2.IV) unless the scanner runs as a delegate.
+- :class:`CamScannerApp`: scanning a document page leaves a private DB
+  entry plus three public traces on the SD card: the scanned image, a
+  thumbnail, and a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+
+
+class BarcodeScannerApp(SimApp):
+    """ZXing-style QR scanner."""
+
+    BUILD = AppBuild(
+        package="com.google.zxing.client.android",
+        label="Barcode Scanner",
+        handles=[IntentFilter(actions=[Intent.ACTION_SCAN])],
+    )
+
+    def on_scan(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        """Decode a QR code (the payload rides in the intent, standing in
+        for the camera frame) and record it in the private history DB."""
+        payload = str(intent.extras.get("qr_payload", ""))
+        db = api.db("history")
+        if "history" not in db.table_names():
+            db.execute(
+                "CREATE TABLE history (id INTEGER PRIMARY KEY, text TEXT, format TEXT)"
+            )
+        db.execute(
+            "INSERT INTO history (text, format) VALUES (?, ?)", [payload, "QR_CODE"]
+        )
+        return {"text": payload, "format": "QR_CODE"}
+
+    def recent_scans(self, api: AppApi) -> list:
+        db = api.db("history")
+        if "history" not in db.table_names():
+            return []
+        return [row[0] for row in db.query("SELECT text FROM history ORDER BY id").rows]
+
+
+class CamScannerApp(SimApp):
+    """CamScanner-style document scanner."""
+
+    BUILD = AppBuild(
+        package="com.intsig.camscanner",
+        label="CamScanner",
+        handles=[IntentFilter(actions=[Intent.ACTION_SCAN, Intent.ACTION_VIEW])],
+    )
+
+    def on_scan(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        """Scan a page: private DB entry + image, thumbnail and log on SD."""
+        source = str(intent.extras.get("path", ""))
+        page = api.sys.read_file(source) if source and api.sys.exists(source) else b"PAGE"
+        name = vpath.basename(source) or "scan"
+        db = api.db("scans")
+        if "scans" not in db.table_names():
+            db.execute("CREATE TABLE scans (id INTEGER PRIMARY KEY, name TEXT, size INTEGER)")
+        db.execute("INSERT INTO scans (name, size) VALUES (?, ?)", [name, len(page)])
+        image = api.write_external(f"CamScanner/{name}.jpg", b"SCANNED:" + page)
+        thumbnail = api.write_external(f"CamScanner/.thumb/{name}.jpg", b"THUMB:" + page[:8])
+        self._append_log(api, f"scanned {name} ({len(page)} bytes)")
+        return {"image": image, "thumbnail": thumbnail, "name": name}
+
+    on_view = on_scan  # opening a document re-scans it
+
+    @staticmethod
+    def _append_log(api: AppApi, line: str) -> None:
+        log_path = "CamScanner/scanner.log"
+        try:
+            existing = api.read_external(log_path)
+        except Exception:
+            existing = b""
+        api.write_external(log_path, existing + line.encode() + b"\n")

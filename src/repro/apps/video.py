@@ -1,0 +1,45 @@
+"""A video player modelled on VPlayer (Table 1, row 4).
+
+Playing a video leaves the playback history in a private database and a
+thumbnail for the video on the SD card.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+
+PACKAGE = "me.abitno.vplayer.t"
+
+
+class VideoPlayerApp(SimApp):
+    """VPlayer-like media player."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="VPlayer",
+        handles=[IntentFilter(actions=[Intent.ACTION_VIEW], mime_prefixes=["video/"])],
+    )
+
+    def on_view(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        path = str(intent.extras["path"])
+        data = api.sys.read_file(path)
+        name = vpath.basename(path)
+        db = api.db("playback")
+        if "history" not in db.table_names():
+            db.execute(
+                "CREATE TABLE history (id INTEGER PRIMARY KEY, name TEXT, position INTEGER)"
+            )
+        db.execute("INSERT INTO history (name, position) VALUES (?, ?)", [name, len(data)])
+        thumbnail = api.write_external(f"VPlayer/.thumbnails/{name}.jpg", b"THUMB:" + data[:8])
+        return {"name": name, "played_bytes": len(data), "thumbnail": thumbnail}
+
+    def playback_history(self, api: AppApi) -> list:
+        db = api.db("playback")
+        if "history" not in db.table_names():
+            return []
+        return [row[0] for row in db.query("SELECT name FROM history ORDER BY id").rows]

@@ -1,0 +1,42 @@
+"""Execution-context helpers.
+
+The kernel's :class:`~repro.kernel.proc.TaskContext` already carries the
+(app, initiator) pair; this module adds the small derived queries the rest
+of Maxoid asks, and the app-facing query API ("an app can query whether it
+runs as a delegate, and what initiator app it runs on behalf of", paper
+section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.proc import Process, TaskContext
+
+
+def delegate_key(app: str, initiator: str) -> str:
+    """Stable key naming a (delegate app, initiator) pair, used for branch
+    directories: ``B@A`` is the paper's ``B^A``."""
+    return f"{app}@{initiator}"
+
+
+def same_confinement_domain(a: TaskContext, b: TaskContext) -> bool:
+    """True when two contexts may freely exchange data under Maxoid:
+    both run on behalf of the same effective initiator."""
+    return a.effective_initiator == b.effective_initiator
+
+
+class MaxoidContextApi:
+    """The delegate-side query API (paper section 6.1, delegate API 2)."""
+
+    def __init__(self, process: Process) -> None:
+        self._process = process
+
+    def is_delegate(self) -> bool:
+        return self._process.context.is_delegate
+
+    def initiator(self) -> Optional[str]:
+        """The initiator package when running as a delegate, else None."""
+        if not self._process.context.is_delegate:
+            return None
+        return self._process.context.initiator

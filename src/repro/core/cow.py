@@ -1,0 +1,545 @@
+"""The SQLite copy-on-write proxy layer (paper section 5.2).
+
+System content providers sit on top of this proxy instead of using the
+database directly. It implements *unilateral per-row, per-initiator
+copy-on-write*:
+
+- Each provider-defined table is a **primary table**; it only ever holds
+  public data (``Pub(all)``).
+- The first volatile record for initiator ``A`` creates a **delta table**
+  ``<table>_delta_<A>`` with the primary table's columns plus a
+  ``_whiteout`` flag, and a **COW view** ``<table>_view_<A>`` defined as::
+
+      SELECT cols FROM <table>
+          WHERE <pk> NOT IN (SELECT <pk> FROM <table>_delta_<A>)
+      UNION ALL
+      SELECT cols FROM <table>_delta_<A> WHERE _whiteout = 0
+
+  plus ``INSTEAD OF`` triggers that confine the delegate's INSERT, UPDATE
+  and DELETE to the delta table (deletes become whiteout records).
+- New rows inserted by delegates get primary keys starting at a large
+  offset ``N`` so they never collide with public rows.
+- Provider-defined SQL views get per-initiator COW views whose definitions
+  are the originals with base tables replaced by COW views; the proxy
+  maintains the hierarchy (a view over a view works).
+- The **administrative view** exposes primary plus all delta rows with a
+  ``_state`` column, for providers with background work (Downloads, Media).
+
+The proxy also implements the footnote-5 workaround: when a query over a
+COW view has an ORDER BY whose columns are not in the projection, SQLite
+3.8.6 would refuse to flatten the UNION ALL subquery; the proxy widens the
+projection with the ORDER BY columns and strips them from the result.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SqlNameError
+from repro.minisql import Database
+from repro.minisql import ast_nodes as ast
+from repro.minisql.engine import ResultSet
+from repro.minisql.parser import parse
+
+#: Primary keys allocated for delegate inserts start here (paper: "the
+#: delta table's primary key starts at a large number N").
+VOLATILE_PK_BASE = 10_000_001
+
+
+def initiator_key(initiator: str) -> str:
+    """Sanitize an initiator package name for use in SQL object names."""
+    return re.sub(r"\W", "_", initiator)
+
+
+@dataclass
+class _PrimaryTable:
+    name: str
+    columns: List[str]
+    pk: str
+
+
+@dataclass
+class _UserView:
+    name: str
+    select_sql: str
+    bases: List[str]  # names of tables/views this view is defined over
+
+
+@dataclass
+class CowStats:
+    """Counters consumed by the microbenchmarks and ablations."""
+
+    delta_tables_created: int = 0
+    cow_views_created: int = 0
+    volatile_inserts: int = 0
+    volatile_updates: int = 0
+    volatile_deletes: int = 0
+    order_by_workarounds: int = 0
+
+
+class CowProxy:
+    """Copy-on-write proxy over one provider database."""
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db if db is not None else Database()
+        self._tables: Dict[str, _PrimaryTable] = {}
+        self._user_views: Dict[str, _UserView] = {}
+        # (object name, initiator key) pairs that already have COW machinery.
+        self._materialized: Set[Tuple[str, str]] = set()
+        self.stats = CowStats()
+
+    # ------------------------------------------------------------------
+    # Schema registration (called by the content provider at creation)
+    # ------------------------------------------------------------------
+
+    def create_table(self, create_sql: str) -> str:
+        """Create a primary table from a CREATE TABLE statement."""
+        statement = parse(create_sql)
+        if not isinstance(statement, ast.CreateTable):
+            raise SqlNameError("create_table() requires a CREATE TABLE statement")
+        self.db.execute(create_sql)
+        pk_columns = [c.name for c in statement.columns if c.primary_key]
+        if not pk_columns:
+            raise SqlNameError(
+                f"table {statement.name}: the COW proxy needs a primary key"
+            )
+        name = statement.name.lower()
+        self._tables[name] = _PrimaryTable(
+            name=name,
+            columns=[c.name.lower() for c in statement.columns],
+            pk=pk_columns[0].lower(),
+        )
+        return name
+
+    def create_user_view(self, name: str, select_sql: str) -> str:
+        """Register a provider-defined SQL view (e.g. Media's ``images``).
+
+        The proxy records which registered tables/views the definition
+        references so it can later build the per-initiator COW hierarchy.
+        """
+        select = parse(select_sql)
+        if not isinstance(select, ast.Select):
+            raise SqlNameError("create_user_view() requires a SELECT statement")
+        bases = sorted(self._referenced_bases(select))
+        self.db.execute(f"CREATE VIEW {name} AS {select_sql}")
+        self._user_views[name.lower()] = _UserView(
+            name=name.lower(), select_sql=select_sql, bases=bases
+        )
+        return name.lower()
+
+    def _referenced_bases(self, select: ast.Select) -> Set[str]:
+        bases: Set[str] = set()
+        for core in select.cores:
+            refs = []
+            if core.source is not None:
+                refs.append(core.source)
+            refs.extend(join.table for join in core.joins)
+            for ref in refs:
+                if ref.subquery is not None:
+                    bases |= self._referenced_bases(ref.subquery)
+                elif ref.name is not None:
+                    key = ref.name.lower()
+                    if key in self._tables or key in self._user_views:
+                        bases.add(key)
+        return bases
+
+    def is_registered(self, name: str) -> bool:
+        """True if ``name`` is a proxy-managed table or user view."""
+        key = name.lower()
+        return key in self._tables or key in self._user_views
+
+    def table_columns(self, name: str) -> List[str]:
+        """Lowercased column names of a registered table or view."""
+        key = name.lower()
+        if key in self._tables:
+            return list(self._tables[key].columns)
+        if key in self._user_views:
+            return [c.lower() for c in self.db.views[key].columns]
+        raise SqlNameError(f"unknown table or view: {name}")
+
+    # ------------------------------------------------------------------
+    # Delta tables and COW views
+    # ------------------------------------------------------------------
+
+    def delta_name(self, table: str, initiator: str) -> str:
+        """The delta-table name for (table, initiator)."""
+        return f"{table.lower()}_delta_{initiator_key(initiator)}"
+
+    def view_name(self, name: str, initiator: str) -> str:
+        """The per-initiator COW-view name for a table or user view."""
+        return f"{name.lower()}_view_{initiator_key(initiator)}"
+
+    def has_delta(self, table: str, initiator: str) -> bool:
+        """True once the initiator has volatile records for ``table``."""
+        return self.db.has_table(self.delta_name(table, initiator))
+
+    def _ensure_table_cow(self, table: str, initiator: str) -> str:
+        """Create the delta table, COW view and triggers for ``table`` on
+        demand; returns the COW view name."""
+        key = (table.lower(), initiator_key(initiator))
+        cow_view = self.view_name(table, initiator)
+        if key in self._materialized:
+            return cow_view
+        primary = self._tables[table.lower()]
+        delta = self.delta_name(table, initiator)
+        columns_sql = []
+        source = self.db.table(primary.name)
+        for column in source.columns:
+            decl = f"{column.name} {column.type_name}".strip()
+            if column.primary_key:
+                decl += " PRIMARY KEY"
+            columns_sql.append(decl)
+        columns_sql.append("_whiteout INTEGER DEFAULT 0")
+        self.db.execute(f"CREATE TABLE {delta} ({', '.join(columns_sql)})")
+        self.db.table(delta).set_autoincrement_base(VOLATILE_PK_BASE)
+        cols = ", ".join(primary.columns)
+        pk = primary.pk
+        self.db.execute(
+            f"CREATE VIEW {cow_view} AS "
+            f"SELECT {cols} FROM {primary.name} "
+            f"WHERE {pk} NOT IN (SELECT {pk} FROM {delta}) "
+            f"UNION ALL "
+            f"SELECT {cols} FROM {delta} WHERE _whiteout = 0"
+        )
+        new_cols = ", ".join(f"NEW.{c}" for c in primary.columns)
+        old_cols = ", ".join(f"OLD.{c}" for c in primary.columns)
+        non_pk = [c for c in primary.columns if c != pk]
+        update_values = ", ".join(
+            ["OLD." + pk] + [f"NEW.{c}" for c in non_pk] + ["0"]
+        )
+        update_cols = ", ".join([pk] + non_pk + ["_whiteout"])
+        self.db.execute(
+            f"CREATE TRIGGER {cow_view}_insert INSTEAD OF INSERT ON {cow_view} BEGIN "
+            f"INSERT INTO {delta} ({cols}, _whiteout) VALUES ({new_cols}, 0); END"
+        )
+        self.db.execute(
+            f"CREATE TRIGGER {cow_view}_update INSTEAD OF UPDATE ON {cow_view} BEGIN "
+            f"INSERT OR REPLACE INTO {delta} ({update_cols}) VALUES ({update_values}); END"
+        )
+        self.db.execute(
+            f"CREATE TRIGGER {cow_view}_delete INSTEAD OF DELETE ON {cow_view} BEGIN "
+            f"INSERT OR REPLACE INTO {delta} ({cols}, _whiteout) VALUES ({old_cols}, 1); END"
+        )
+        self._materialized.add(key)
+        self.stats.delta_tables_created += 1
+        self.stats.cow_views_created += 1
+        return cow_view
+
+    def _ensure_view_cow(self, view: str, initiator: str) -> str:
+        """Create the COW copy of a user-defined view (and, recursively, of
+        every base it depends on). Returns the COW view name."""
+        key = (view.lower(), initiator_key(initiator))
+        cow_name = self.view_name(view, initiator)
+        if key in self._materialized:
+            return cow_name
+        definition = self._user_views[view.lower()]
+        replacements: Dict[str, str] = {}
+        for base in definition.bases:
+            if base in self._tables:
+                replacements[base] = self._ensure_table_cow(base, initiator)
+            else:
+                replacements[base] = self._ensure_view_cow(base, initiator)
+        select = parse(definition.select_sql)
+        assert isinstance(select, ast.Select)
+        rewritten = self._rewrite_bases(copy.deepcopy(select), replacements)
+        self.db.define_view(cow_name, rewritten)
+        self._materialized.add(key)
+        self.stats.cow_views_created += 1
+        return cow_name
+
+    def _rewrite_bases(self, select: ast.Select, replacements: Dict[str, str]) -> ast.Select:
+        for core in select.cores:
+            refs = []
+            if core.source is not None:
+                refs.append(core.source)
+            refs.extend(join.table for join in core.joins)
+            for ref in refs:
+                if ref.subquery is not None:
+                    self._rewrite_bases(ref.subquery, replacements)
+                elif ref.name is not None and ref.name.lower() in replacements:
+                    if ref.alias is None:
+                        # Preserve the original name for qualified column
+                        # references in the view definition.
+                        ref.alias = ref.name
+                    ref.name = replacements[ref.name.lower()]
+        # Subqueries in WHERE clauses may also reference bases.
+        for core in select.cores:
+            if core.where is not None:
+                self._rewrite_expr_bases(core.where, replacements)
+        return select
+
+    def _rewrite_expr_bases(self, expr: ast.Expr, replacements: Dict[str, str]) -> None:
+        if isinstance(expr, (ast.InSelect, ast.ExistsSelect, ast.ScalarSelect)):
+            self._rewrite_bases(expr.select, replacements)
+        elif isinstance(expr, ast.Unary):
+            self._rewrite_expr_bases(expr.operand, replacements)
+        elif isinstance(expr, ast.Binary):
+            self._rewrite_expr_bases(expr.left, replacements)
+            self._rewrite_expr_bases(expr.right, replacements)
+        elif isinstance(expr, ast.InList):
+            self._rewrite_expr_bases(expr.operand, replacements)
+            for item in expr.items:
+                self._rewrite_expr_bases(item, replacements)
+
+    # ------------------------------------------------------------------
+    # Maxoid view selection (paper: "the proxy selects the correct view")
+    # ------------------------------------------------------------------
+
+    def resolve(self, name: str, initiator: Optional[str], for_write: bool = False) -> str:
+        """The SQL object a caller should operate on.
+
+        ``initiator=None`` means the caller is not a delegate: operations
+        go to the primary table / original view. For a delegate of
+        ``initiator``, reads go to the COW view if volatile state exists
+        (otherwise the shared primary copy), and writes always go through
+        the COW view, creating it on demand.
+        """
+        key = name.lower()
+        if initiator is None:
+            return key
+        if key in self._tables:
+            if for_write:
+                return self._ensure_table_cow(key, initiator)
+            if self.has_delta(key, initiator):
+                return self._ensure_table_cow(key, initiator)
+            return key
+        if key in self._user_views:
+            definition = self._user_views[key]
+            if for_write:
+                raise SqlNameError(f"view {name} is not writable through the proxy")
+            if self._any_base_has_delta(definition, initiator):
+                return self._ensure_view_cow(key, initiator)
+            return key
+        raise SqlNameError(f"unknown table or view: {name}")
+
+    def _any_base_has_delta(self, definition: _UserView, initiator: str) -> bool:
+        for base in definition.bases:
+            if base in self._tables:
+                if self.has_delta(base, initiator):
+                    return True
+            else:
+                if self._any_base_has_delta(self._user_views[base], initiator):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # The provider-facing operation API
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        name: str,
+        initiator: Optional[str],
+        projection: Optional[Sequence[str]] = None,
+        where: Optional[str] = None,
+        params: Sequence[object] = (),
+        order_by: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> ResultSet:
+        """Query with automatic view selection and the footnote-5 widening.
+
+        ``projection`` is a list of column names (None means ``*``);
+        ``where`` is a SQL expression with ``?`` placeholders; ``order_by``
+        is e.g. ``"title DESC, _id"``.
+        """
+        target = self.resolve(name, initiator, for_write=False)
+        columns = list(projection) if projection else ["*"]
+        extra: List[str] = []
+        if (
+            order_by
+            and projection
+            and target != name.lower()  # querying a COW view
+        ):
+            order_columns = self._order_by_columns(order_by)
+            present = {c.lower() for c in projection}
+            extra = [c for c in order_columns if c not in present]
+            if extra:
+                columns.extend(extra)
+                self.stats.order_by_workarounds += 1
+        sql = f"SELECT {', '.join(columns)} FROM {target}"
+        if where:
+            sql += f" WHERE {where}"
+        if order_by:
+            sql += f" ORDER BY {order_by}"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        result = self.db.execute(sql, params)
+        if extra:
+            keep = len(columns) - len(extra)
+            result = ResultSet(
+                columns=result.columns[:keep],
+                rows=[row[:keep] for row in result.rows],
+                rowcount=result.rowcount,
+                lastrowid=result.lastrowid,
+            )
+        return result
+
+    @staticmethod
+    def _order_by_columns(order_by: str) -> List[str]:
+        names = []
+        for term in order_by.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            column = term.split()[0].strip()
+            names.append(column.lower())
+        return names
+
+    def insert(
+        self,
+        name: str,
+        initiator: Optional[str],
+        values: Dict[str, object],
+    ) -> int:
+        """Insert a row; delegates' inserts land in the delta table and
+        return the volatile primary key."""
+        target = self.resolve(name, initiator, for_write=initiator is not None)
+        columns = list(values)
+        placeholders = ", ".join("?" for _ in columns)
+        sql = f"INSERT INTO {target} ({', '.join(columns)}) VALUES ({placeholders})"
+        result = self.db.execute(sql, [values[c] for c in columns])
+        if initiator is not None:
+            self.stats.volatile_inserts += 1
+            delta = self.delta_name(name, initiator)
+            pk = self._tables[name.lower()].pk
+            return int(self.db.execute(f"SELECT MAX({pk}) FROM {delta}").scalar() or 0)
+        return int(result.lastrowid or 0)
+
+    def update(
+        self,
+        name: str,
+        initiator: Optional[str],
+        values: Dict[str, object],
+        where: Optional[str] = None,
+        params: Sequence[object] = (),
+    ) -> int:
+        """Update matching rows; a delegate's updates copy-on-write into
+        its initiator's delta table. Returns rows affected."""
+        target = self.resolve(name, initiator, for_write=initiator is not None)
+        assignments = ", ".join(f"{c} = ?" for c in values)
+        sql = f"UPDATE {target} SET {assignments}"
+        if where:
+            sql += f" WHERE {where}"
+        result = self.db.execute(sql, list(values.values()) + list(params))
+        if initiator is not None:
+            self.stats.volatile_updates += result.rowcount
+        return result.rowcount
+
+    def delete(
+        self,
+        name: str,
+        initiator: Optional[str],
+        where: Optional[str] = None,
+        params: Sequence[object] = (),
+    ) -> int:
+        """Delete matching rows; a delegate's deletes become whiteout
+        records in the delta table. Returns rows affected."""
+        target = self.resolve(name, initiator, for_write=initiator is not None)
+        sql = f"DELETE FROM {target}"
+        if where:
+            sql += f" WHERE {where}"
+        result = self.db.execute(sql, params)
+        if initiator is not None:
+            self.stats.volatile_deletes += result.rowcount
+        return result.rowcount
+
+    # ------------------------------------------------------------------
+    # Initiator-side volatile state management
+    # ------------------------------------------------------------------
+
+    def insert_volatile(self, name: str, initiator: str, values: Dict[str, object]) -> int:
+        """An *initiator* creating a volatile record directly — the
+        ``isVolatile`` ContentValues flag (paper section 6.1, API 4)."""
+        self._ensure_table_cow(name, initiator)
+        delta = self.delta_name(name, initiator)
+        columns = list(values) + ["_whiteout"]
+        placeholders = ", ".join("?" for _ in columns)
+        sql = f"INSERT INTO {delta} ({', '.join(columns)}) VALUES ({placeholders})"
+        result = self.db.execute(sql, list(values.values()) + [0])
+        self.stats.volatile_inserts += 1
+        return int(result.lastrowid or 0)
+
+    def volatile_rows(
+        self,
+        name: str,
+        initiator: str,
+        include_whiteouts: bool = False,
+    ) -> ResultSet:
+        """All volatile records of ``initiator`` for ``name`` (the data an
+        initiator sees through volatile URIs)."""
+        if not self.has_delta(name, initiator):
+            return ResultSet(columns=self.table_columns(name) + ["_whiteout"], rows=[])
+        delta = self.delta_name(name, initiator)
+        where = "" if include_whiteouts else " WHERE _whiteout = 0"
+        return self.db.execute(f"SELECT * FROM {delta}{where}")
+
+    def commit_volatile(self, name: str, initiator: str, row_id: int) -> bool:
+        """Copy one volatile record into the primary table (the initiator's
+        selective commit, section 3.3). Returns False if no such record."""
+        if not self.has_delta(name, initiator):
+            return False
+        delta = self.delta_name(name, initiator)
+        primary = self._tables[name.lower()]
+        row = self.db.execute(
+            f"SELECT * FROM {delta} WHERE {primary.pk} = ? AND _whiteout = 0", [row_id]
+        )
+        if not row.rows:
+            return False
+        record = dict(zip([c.lower() for c in row.columns], row.rows[0]))
+        record.pop("_whiteout", None)
+        if row_id >= VOLATILE_PK_BASE:
+            # A row the delegate created: give it a fresh public key.
+            record.pop(primary.pk, None)
+        columns = list(record)
+        placeholders = ", ".join("?" for _ in columns)
+        self.db.execute(
+            f"INSERT OR REPLACE INTO {primary.name} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})",
+            [record[c] for c in columns],
+        )
+        return True
+
+    def discard_volatile(self, name: str, initiator: str) -> int:
+        """Drop all of ``initiator``'s volatile records for ``name``
+        (the clean-up after commit, section 3.3). Returns rows discarded."""
+        if not self.has_delta(name, initiator):
+            return 0
+        delta = self.delta_name(name, initiator)
+        count = int(self.db.execute(f"SELECT COUNT(*) FROM {delta}").scalar() or 0)
+        self.db.execute(f"DELETE FROM {delta}")
+        return count
+
+    def discard_all_volatile(self, initiator: str) -> int:
+        """Discard the initiator's volatile records across every table."""
+        total = 0
+        for table in list(self._tables):
+            total += self.discard_volatile(table, initiator)
+        return total
+
+    def initiators_with_volatile_state(self, name: str) -> List[str]:
+        """Initiator keys having at least one volatile record for ``name``."""
+        found = []
+        prefix = f"{name.lower()}_delta_"
+        for table_name in self.db.table_names():
+            if table_name.startswith(prefix) and len(self.db.table(table_name)):
+                found.append(table_name[len(prefix) :])
+        return found
+
+    # ------------------------------------------------------------------
+    # The administrative view (providers' background threads)
+    # ------------------------------------------------------------------
+
+    def admin_rows(self, name: str) -> List[Dict[str, object]]:
+        """Primary plus all volatile rows, each tagged with ``_state``
+        (``"public"`` or ``"vol:<initiator-key>"``) and ``_whiteout``."""
+        primary = self._tables[name.lower()]
+        cols = ", ".join(primary.columns)
+        parts = [f"SELECT {cols}, 0 AS _whiteout, 'public' AS _state FROM {primary.name}"]
+        for key in self.initiators_with_volatile_state(name):
+            delta = f"{primary.name}_delta_{key}"
+            parts.append(f"SELECT {cols}, _whiteout, 'vol:{key}' AS _state FROM {delta}")
+        result = self.db.execute(" UNION ALL ".join(parts))
+        return result.dicts()

@@ -1,0 +1,238 @@
+"""The device facade: boot a simulated Android system, with or without
+Maxoid (paper Figure 3).
+
+``Device(maxoid_enabled=True)`` boots the full Maxoid stack: branch
+manager in Zygote, IPC guard in the Binder driver, COW-proxied system
+providers, the modified services, and the Launcher drop targets.
+``Device(maxoid_enabled=False)`` boots the stock-Android baseline the
+paper's benchmarks compare against: same framework, none of the Maxoid
+hooks, a single shared view of everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.android.am import ActivityManagerService, Invocation
+from repro.android.app_api import AppApi
+from repro.android.content.contacts import ContactsProvider
+from repro.android.content.downloads import DownloadsProvider
+from repro.android.content.media import MediaProvider
+from repro.android.content.provider import ContentResolver
+from repro.android.content.system_io import SystemStorageIO, VOLATILE_MOUNT
+from repro.android.content.user_dictionary import UserDictionaryProvider
+from repro.android.intents import Intent
+from repro.android.launcher import Launcher
+from repro.android.packages import AndroidManifest, InstalledPackage, PackageManager
+from repro.android.services import (
+    BluetoothService,
+    ClipboardService,
+    DownloadManager,
+    MediaScanner,
+    TelephonyService,
+)
+from repro.android.storage import EXTDIR
+from repro.android.zygote import Zygote
+from repro.core.branches import BranchManager
+from repro.core.ipc_guard import IpcGuard
+from repro.core.manifest import MaxoidManifest
+from repro.core.views import plan_delegate_mounts, plan_initiator_mounts
+from repro.core.volatile import MaxoidSystemService
+from repro.kernel.binder import BinderDriver
+from repro.kernel.mounts import MountNamespace
+from repro.kernel.network import NetworkStack
+from repro.kernel.proc import Process, ProcessTable, TaskContext
+from repro.kernel.syscall import Syscalls
+from repro.kernel.sysfs import Sysfs
+from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
+
+
+class Device:
+    """A booted simulated Android device."""
+
+    def __init__(self, maxoid_enabled: bool = True) -> None:
+        self.maxoid_enabled = maxoid_enabled
+        # -- kernel ---------------------------------------------------------
+        self.system_fs = Filesystem(label="system")
+        self.processes = ProcessTable()
+        self.sysfs = Sysfs(self.processes)
+        self.binder = BinderDriver()
+        self.network = NetworkStack()
+        self.branches = BranchManager(self.system_fs)
+        # -- namespaces -------------------------------------------------------
+        # Every app sees the system fs at / and public external storage at
+        # EXTDIR; the system process additionally sees the volatile forest.
+        self.base_namespace = MountNamespace(self.system_fs)
+        self.base_namespace.mount(EXTDIR, self.branches.pub_fs)
+        self.system_namespace = self.base_namespace.unshare()
+        self.system_namespace.mount(VOLATILE_MOUNT, self.branches.vol_fs)
+        self.system_process = Process(
+            cred=Credentials(uid=0),
+            namespace=self.system_namespace,
+            context=TaskContext(app=None, initiator=None),
+            name="system_server",
+        )
+        self.processes.register(self.system_process)
+        # -- framework ---------------------------------------------------------
+        self.packages = PackageManager(self.system_fs)
+        self.resolver = ContentResolver(self.binder)
+        system_io = SystemStorageIO(Syscalls(self.system_process))
+        self.user_dictionary = UserDictionaryProvider()
+        self.downloads = DownloadsProvider(self.network, system_io, self.system_process)
+        self.media = MediaProvider(system_io)
+        self.contacts = ContactsProvider()
+        self.resolver.register(self.user_dictionary)
+        self.resolver.register(self.downloads)
+        self.resolver.register(self.media)
+        self.resolver.register(self.contacts)
+        self.clipboard = ClipboardService(maxoid_enabled)
+        self.bluetooth = BluetoothService(maxoid_enabled)
+        self.telephony = TelephonyService(maxoid_enabled)
+        self.download_manager = DownloadManager(self.resolver)
+        self.media_scanner = MediaScanner(self.resolver)
+        # -- Maxoid hooks ---------------------------------------------------------
+        self.maxoid_manifests: Dict[str, MaxoidManifest] = {}
+        self.ipc_guard: Optional[IpcGuard] = None
+        if maxoid_enabled:
+            self.ipc_guard = IpcGuard(self.binder)
+            self.maxoid_service = MaxoidSystemService(
+                self.binder,
+                self.branches,
+                clear_volatile=self.clear_volatile,
+                clear_delegate_priv=self.clear_delegate_priv,
+            )
+        self.zygote = Zygote(
+            self.processes,
+            self.sysfs,
+            self.packages,
+            self._build_namespace,
+            maxoid_enabled=maxoid_enabled,
+        )
+        self.am = ActivityManagerService(
+            self.packages,
+            self.zygote,
+            self.processes,
+            self.binder,
+            ipc_guard=self.ipc_guard,
+            maxoid_manifests=self.maxoid_manifests,
+        )
+        self.launcher = Launcher(self.am, self)
+        self._apps: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Zygote's namespace builder
+    # ------------------------------------------------------------------
+
+    def _build_namespace(self, package: str, initiator: Optional[str]) -> MountNamespace:
+        if not self.maxoid_enabled:
+            return self.base_namespace.unshare()
+        manifest = self.maxoid_manifests.get(package)
+        if initiator is None or initiator == package:
+            plans = plan_initiator_mounts(package, manifest)
+        else:
+            self.branches.prepare_delegate_priv(package, initiator)
+            plans = plan_delegate_mounts(
+                package, initiator, manifest, self.maxoid_manifests.get(initiator)
+            )
+        return self.branches.materialize(self.base_namespace, plans)
+
+    # ------------------------------------------------------------------
+    # App installation and launch
+    # ------------------------------------------------------------------
+
+    def install(self, manifest: AndroidManifest, app: Optional[Any] = None) -> InstalledPackage:
+        """Install a package; ``app`` is the app's code (an object with a
+        ``main(api, intent)`` method) if it has any."""
+        installed = self.packages.install(manifest)
+        if manifest.maxoid is not None:
+            self.maxoid_manifests[manifest.package] = manifest.maxoid
+        if app is not None:
+            self._apps[manifest.package] = app
+            self.am.register_handler(manifest.package, self._make_handler(manifest.package))
+            if hasattr(app, "on_install"):
+                app.on_install(self, installed)
+        return installed
+
+    def _make_handler(self, package: str):
+        def handler(process: Process, intent: Intent):
+            api = AppApi(self, process)
+            return self._apps[package].main(api, intent)
+
+        return handler
+
+    def register_app_provider(self, provider: Any) -> None:
+        """Register an app-defined content provider.
+
+        Its Binder endpoint runs in the owning app's (initiator) context,
+        so the IPC guard lets the owner's delegates reach it — the Email
+        attachment flow (paper section 2.2.III)."""
+        self.resolver.register(provider)
+        if self.ipc_guard is not None and provider.owner is not None:
+            self.ipc_guard.register_instance(
+                f"provider:{provider.authority}",
+                TaskContext(app=provider.owner, initiator=None),
+            )
+
+    def app(self, package: str) -> Any:
+        return self._apps[package]
+
+    def launch(self, package: str, intent: Optional[Intent] = None) -> Invocation:
+        """The user taps an app icon."""
+        return self.launcher.start(package, intent)
+
+    def launch_as_delegate(
+        self, package: str, initiator: str, intent: Optional[Intent] = None
+    ) -> Invocation:
+        return self.launcher.start_as_delegate(package, initiator, intent)
+
+    def api_for(self, process: Process) -> AppApi:
+        """An API handle for an existing process (used by tests/benches)."""
+        return AppApi(self, process)
+
+    def spawn(self, package: str, initiator: Optional[str] = None) -> AppApi:
+        """Spawn a process directly (no intent), returning its API —
+        convenient for tests and microbenchmarks."""
+        process = self.zygote.fork_app(package, initiator)
+        return AppApi(self, process)
+
+    # ------------------------------------------------------------------
+    # Maxoid state management (Launcher / initiator entry points)
+    # ------------------------------------------------------------------
+
+    def clear_volatile(self, package: str) -> int:
+        """Discard Vol(package): volatile files, provider volatile records,
+        and the delegate clipboard."""
+        removed = self.branches.clear_volatile(package)
+        for provider in (self.user_dictionary, self.media, self.downloads, self.contacts):
+            removed += provider.proxy.discard_all_volatile(package)
+        self.clipboard.clear_domain(package)
+        return removed
+
+    def clear_delegate_priv(self, package: str) -> int:
+        """Discard Priv(x^package) for every app x."""
+        count = self.branches.clear_delegate_priv(package)
+        for process in self.processes.instances_of_initiator(package):
+            process.kill()
+        return count
+
+    # ------------------------------------------------------------------
+    # Background work pumps
+    # ------------------------------------------------------------------
+
+    def run_downloads(self) -> int:
+        """Run the Downloads provider's background worker to completion."""
+        return self.downloads.run_pending()
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+
+    def mount_table_for(self, process: Process) -> List[str]:
+        table = []
+        for point, fs in sorted(process.namespace.mount_table().items()):
+            description = getattr(fs, "describe", None)
+            if description is not None:
+                table.append(f"{point}: {', '.join(description())}")
+            else:
+                table.append(f"{point}: {getattr(fs, 'label', fs.__class__.__name__)}")
+        return table

@@ -1,0 +1,41 @@
+"""The delegate network cutoff (paper sections 2.4 and 6.2).
+
+Maxoid cannot track data once it leaves the device, so delegates lose the
+network wholesale: ``connect()`` returns ENETUNREACH (the check lives in
+:meth:`repro.kernel.network.NetworkStack.connect`, keyed off the task
+context — this module documents and tests the policy and guards the
+trusted-service side channels).
+
+Beyond raw sockets, a delegate could ask a *trusted service* to touch the
+network for it; the paper closes those holes explicitly:
+
+- Downloads refuses fetch requests from delegates (the URL itself could
+  carry secrets) — enforced in
+  :class:`repro.android.content.downloads.DownloadsProvider`;
+- Bluetooth and SMS sends are refused — enforced in
+  :mod:`repro.android.services`.
+
+:func:`assert_not_delegate` is the shared guard those services call.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DelegateNetworkDenied
+from repro.kernel.proc import TaskContext
+
+
+def network_allowed(context: TaskContext) -> bool:
+    """The rule the kernel's connect() applies: delegates get ENETUNREACH."""
+    return not context.is_delegate
+
+
+def assert_not_delegate(context: TaskContext, channel: str) -> None:
+    """Guard for trusted services that can move data off-device.
+
+    Raises :class:`DelegateNetworkDenied` when a delegate asks ``channel``
+    (e.g. "bluetooth", "sms", "downloads-fetch") to transmit for it.
+    """
+    if context.is_delegate:
+        raise DelegateNetworkDenied(
+            f"{context} may not use {channel}: delegates are confined off-network"
+        )

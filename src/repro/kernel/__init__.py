@@ -1,0 +1,59 @@
+"""Simulated operating-system kernel for the Maxoid reproduction.
+
+This package provides the substrate the paper's implementation runs on:
+
+- :mod:`repro.kernel.vfs` — an in-memory inode filesystem with POSIX-style
+  permissions and UIDs.
+- :mod:`repro.kernel.aufs` — a from-scratch union filesystem with branch
+  priorities, copy-up (copy-on-write) and whiteouts, modelled on Aufs as used
+  by the paper (section 4.2), including the "always allow read" modification.
+- :mod:`repro.kernel.mounts` — per-process mount namespaces with
+  longest-prefix mount resolution (the simulated ``unshare()``/``mount()``).
+- :mod:`repro.kernel.proc` — the process table; each task carries the Maxoid
+  execution context (which app, on behalf of which initiator).
+- :mod:`repro.kernel.syscall` — the syscall layer binding a process to its
+  namespace and credentials.
+- :mod:`repro.kernel.binder` — Binder IPC transport with the Maxoid
+  restriction hook (section 3.4).
+- :mod:`repro.kernel.network` — a toy network stack whose ``connect()``
+  returns ENETUNREACH for delegates (section 6.2).
+- :mod:`repro.kernel.sysfs` — the Zygote-to-kernel channel used to stamp a
+  task with its app/initiator identity (section 6.2).
+"""
+
+from repro.kernel.vfs import Filesystem, Inode, InodeKind, Stat, Credentials
+from repro.kernel.aufs import AufsMount, Branch
+from repro.kernel.mounts import MountNamespace
+from repro.kernel.proc import Process, ProcessTable, TaskContext
+from repro.kernel.syscall import Syscalls, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_APPEND, O_TRUNC, O_EXCL
+from repro.kernel.binder import BinderDriver, BinderEndpoint, Transaction
+from repro.kernel.network import NetworkStack, Socket
+from repro.kernel.sysfs import Sysfs
+
+__all__ = [
+    "Filesystem",
+    "Inode",
+    "InodeKind",
+    "Stat",
+    "Credentials",
+    "AufsMount",
+    "Branch",
+    "MountNamespace",
+    "Process",
+    "ProcessTable",
+    "TaskContext",
+    "Syscalls",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_APPEND",
+    "O_TRUNC",
+    "O_EXCL",
+    "BinderDriver",
+    "BinderEndpoint",
+    "Transaction",
+    "NetworkStack",
+    "Socket",
+    "Sysfs",
+]

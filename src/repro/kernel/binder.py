@@ -1,0 +1,106 @@
+"""Binder IPC with the Maxoid restriction hook.
+
+Android's low-level IPC is Binder; intents, content-provider calls, and
+service calls all ride on it. Maxoid restricts a delegate's *direct* Binder
+peers to trusted system services, its initiator, and delegates of the same
+initiator (paper sections 3.4 and 6.2).
+
+The driver routes :class:`Transaction` objects between named endpoints. A
+policy callable installed by :mod:`repro.core.ipc_guard` decides whether a
+(sender-context, endpoint) pair may communicate; with no policy installed
+the driver behaves like stock Android (everything goes through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import IpcDenied, ProviderNotFound
+from repro.kernel.proc import Process, TaskContext
+
+
+@dataclass
+class Transaction:
+    """One Binder transaction: sender identity plus an arbitrary payload."""
+
+    sender_pid: int
+    sender_context: TaskContext
+    code: str
+    payload: Any = None
+
+
+@dataclass
+class BinderEndpoint:
+    """A registered Binder service or app component endpoint.
+
+    ``owner`` is the owning package, or ``None`` for trusted system
+    services (Activity Manager, system content providers, ...), which are
+    always reachable. ``handler`` receives a :class:`Transaction` and
+    returns a reply.
+    """
+
+    name: str
+    owner: Optional[str]
+    handler: Callable[[Transaction], Any]
+    is_system: bool = False
+
+
+# Policy signature: (sender_context, endpoint) -> allowed?
+BinderPolicy = Callable[[TaskContext, BinderEndpoint], bool]
+
+
+class BinderDriver:
+    """Routes transactions between endpoints, subject to a policy."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[str, BinderEndpoint] = {}
+        self._policy: Optional[BinderPolicy] = None
+        self.transaction_log: List[Transaction] = []
+        self.denied_log: List[Transaction] = []
+
+    def register(
+        self,
+        name: str,
+        handler: Callable[[Transaction], Any],
+        *,
+        owner: Optional[str] = None,
+        is_system: bool = False,
+    ) -> BinderEndpoint:
+        endpoint = BinderEndpoint(name=name, owner=owner, handler=handler, is_system=is_system)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoint(self, name: str) -> BinderEndpoint:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise ProviderNotFound(f"no binder endpoint named {name!r}")
+        return endpoint
+
+    def install_policy(self, policy: BinderPolicy) -> None:
+        """Install the Maxoid restriction hook (kernel modification #3)."""
+        self._policy = policy
+
+    def transact(self, sender: Process, target: str, code: str, payload: Any = None) -> Any:
+        """Send a transaction from ``sender`` to endpoint ``target``.
+
+        Raises :class:`IpcDenied` when the installed policy refuses the
+        pair; otherwise invokes the endpoint handler and returns its reply.
+        """
+        endpoint = self.endpoint(target)
+        transaction = Transaction(
+            sender_pid=sender.pid,
+            sender_context=sender.context,
+            code=code,
+            payload=payload,
+        )
+        if self._policy is not None and not self._policy(sender.context, endpoint):
+            self.denied_log.append(transaction)
+            raise IpcDenied(
+                f"binder: {sender.context} may not transact with {endpoint.name}"
+            )
+        self.transaction_log.append(transaction)
+        return endpoint.handler(transaction)

@@ -1,0 +1,136 @@
+"""The syscall layer: filesystem operations bound to a process.
+
+Every simulated app performs file I/O through a :class:`Syscalls` object,
+which resolves paths through the *process's own* mount namespace with the
+process's credentials. This is the choke point that makes Maxoid's view
+switching transparent: the same ``open("/storage/sdcard/doc.pdf")`` reaches
+a different filesystem depending on which process issued it.
+
+Open flags mirror POSIX names (``O_RDONLY`` etc.) so simulated app code
+reads naturally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CrossDeviceLink, NoSuchProcess
+from repro.kernel import path as vpath
+from repro.kernel.proc import Process
+from repro.kernel.vfs import FileHandle, Stat
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_EXCL = 0x80
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+
+class Syscalls:
+    """File-related syscalls for one process."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+
+    def _check_alive(self) -> None:
+        if not self.process.alive:
+            raise NoSuchProcess(f"pid {self.process.pid} has exited")
+
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> FileHandle:
+        """Open ``path`` with POSIX-style ``flags``; returns a file handle."""
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        accmode = flags & 0o3
+        read = accmode in (O_RDONLY, O_RDWR)
+        write = accmode in (O_WRONLY, O_RDWR)
+        return fs.open(
+            inner,
+            self.process.cred,
+            read=read,
+            write=write,
+            create=bool(flags & O_CREAT),
+            truncate=bool(flags & O_TRUNC),
+            append=bool(flags & O_APPEND),
+            exclusive=bool(flags & O_EXCL),
+            mode=mode,
+        )
+
+    def stat(self, path: str) -> Stat:
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        return fs.stat(inner, self.process.cred)
+
+    def exists(self, path: str) -> bool:
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        return fs.exists(inner, self.process.cred)
+
+    def mkdir(self, path: str, mode: int = 0o755, parents: bool = False) -> None:
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        fs.mkdir(inner, self.process.cred, mode=mode, parents=parents)
+
+    def listdir(self, path: str) -> List[str]:
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        return fs.readdir(inner, self.process.cred)
+
+    def unlink(self, path: str) -> None:
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        fs.unlink(inner, self.process.cred)
+
+    def rmdir(self, path: str) -> None:
+        self._check_alive()
+        fs, inner = self.process.namespace.resolve(path)
+        fs.rmdir(inner, self.process.cred)
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename; raises EXDEV when old and new live on different mounts."""
+        self._check_alive()
+        old_point, old_fs = self.process.namespace.mount_for(old)
+        new_point, new_fs = self.process.namespace.mount_for(new)
+        if old_fs is not new_fs:
+            raise CrossDeviceLink(f"{old} and {new} are on different mounts")
+        _, old_inner = self.process.namespace.resolve(old)
+        _, new_inner = self.process.namespace.resolve(new)
+        old_fs.rename(old_inner, new_inner, self.process.cred)
+
+    # -- convenience wrappers -------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        with self.open(path, O_RDONLY) as handle:
+            return handle.read()
+
+    def write_file(self, path: str, data: bytes, mode: int = 0o644) -> None:
+        with self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode=mode) as handle:
+            handle.write(data)
+
+    def append_file(self, path: str, data: bytes) -> None:
+        with self.open(path, O_WRONLY | O_APPEND) as handle:
+            handle.write(data)
+
+    def copy_file(self, src: str, dst: str, mode: int = 0o644) -> None:
+        self.write_file(dst, self.read_file(src), mode=mode)
+
+    def makedirs(self, path: str, mode: int = 0o755) -> None:
+        """mkdir -p: create ``path`` and any missing ancestors."""
+        self.mkdir(path, mode=mode, parents=True)
+
+    def walk_files(self, top: str) -> List[str]:
+        """All file paths under ``top`` (depth-first, sorted)."""
+        found: List[str] = []
+        stack = [vpath.normalize(top)]
+        while stack:
+            current = stack.pop()
+            for name in sorted(self.listdir(current), reverse=True):
+                child = vpath.join(current, name)
+                if self.stat(child).is_dir:
+                    stack.append(child)
+                else:
+                    found.append(child)
+        return sorted(found)

@@ -1,0 +1,44 @@
+"""The sysfs channel Zygote uses to stamp app identity onto a task.
+
+Paper section 6.2: "We add a sysfs interface for Zygote to communicate app
+and initiator information to the process' task_struct." Here the interface
+is a tiny write-only file-like API: Zygote writes ``app`` and ``initiator``
+for a pid, and the kernel updates the task's :class:`TaskContext`. Only
+root may write (Zygote writes before dropping privileges).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PermissionDenied
+from repro.kernel.proc import ProcessTable, TaskContext
+from repro.kernel.vfs import Credentials
+
+
+class Sysfs:
+    """The ``/sys/kernel/maxoid`` interface (simulated)."""
+
+    def __init__(self, process_table: ProcessTable) -> None:
+        self._processes = process_table
+
+    def write_context(
+        self,
+        pid: int,
+        app: str,
+        initiator: Optional[str],
+        cred: Credentials,
+    ) -> None:
+        """Stamp process ``pid`` with its Maxoid execution context.
+
+        Raises :class:`PermissionDenied` unless called as root — an app that
+        has already dropped privileges cannot rewrite its own identity.
+        """
+        if not cred.is_root:
+            raise PermissionDenied("only root may write the maxoid sysfs interface")
+        process = self._processes.get(pid)
+        process.context = TaskContext(app=app, initiator=initiator)
+
+    def read_context(self, pid: int) -> TaskContext:
+        """Read a task's context (world-readable, like much of sysfs)."""
+        return self._processes.get(pid).context

@@ -1,0 +1,35 @@
+"""A from-scratch miniature SQL engine with the features Maxoid's
+copy-on-write proxy needs.
+
+The paper's proxy layer (section 5.2) is defined in terms of SQLite
+constructs: base tables, SQL views, ``INSTEAD OF`` triggers on views,
+``UNION ALL`` compound views, and the *subquery flattening* optimisation
+(including the ORDER BY restriction its footnote 5 documents). This engine
+implements exactly that surface:
+
+- ``CREATE TABLE`` with INTEGER PRIMARY KEY (rowid-style autoincrement),
+  NOT NULL, DEFAULT;
+- ``SELECT`` with WHERE, ORDER BY, LIMIT/OFFSET, column aliases, ``*``,
+  inner joins, ``UNION ALL``, aggregates (COUNT/MIN/MAX/SUM/AVG), GROUP BY,
+  ``IN (SELECT ...)``, EXISTS and scalar subqueries;
+- ``INSERT`` / ``INSERT OR REPLACE`` / ``UPDATE`` / ``DELETE`` with ``?``
+  parameters;
+- ``CREATE VIEW`` (stored SELECT) and ``CREATE TRIGGER ... INSTEAD OF``
+  with ``NEW.col`` / ``OLD.col`` references;
+- a query planner that flattens queries over UNION ALL views into their
+  branches, with a switch emulating SQLite 3.8.6's ORDER BY restriction.
+
+Usage::
+
+    from repro.minisql import Database
+    db = Database()
+    db.execute("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT)")
+    db.execute("INSERT INTO words (word) VALUES (?)", ["hello"])
+    result = db.execute("SELECT word FROM words WHERE _id = ?", [1])
+    result.rows  # [('hello',)]
+"""
+
+from repro.minisql.engine import Database, ResultSet
+from repro.minisql.planner import PlannerStats
+
+__all__ = ["Database", "ResultSet", "PlannerStats"]

@@ -1,0 +1,276 @@
+"""AST node definitions for the mini SQL engine.
+
+Plain dataclasses; the parser builds them and the engine/planner walk them.
+Expression nodes share a common base (:class:`Expr`) so evaluation can
+dispatch on type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: object  # None, int, float, str, bytes
+
+
+@dataclass
+class Param(Expr):
+    """A ``?`` placeholder; ``index`` is its 0-based position."""
+
+    index: int
+
+
+@dataclass
+class Column(Expr):
+    """A (possibly table-qualified) column reference; may be ``NEW.x``/``OLD.x``."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # 'NOT', '-', '+'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # '=', '<>', '<', '<=', '>', '>=', 'AND', 'OR', '+', '-', '*', '/', '%', '||', 'LIKE', 'GLOB'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: List[Expr]
+    negated: bool = False
+
+
+@dataclass
+class InSelect(Expr):
+    operand: Expr
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ExistsSelect(Expr):
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSelect(Expr):
+    select: "Select"
+
+
+@dataclass
+class FunctionCall(Expr):
+    """Scalar or aggregate function; ``star`` marks ``COUNT(*)``."""
+
+    name: str
+    args: List[Expr]
+    star: bool = False
+    distinct: bool = False
+
+
+@dataclass
+class CaseExpr(Expr):
+    """``CASE [operand] WHEN .. THEN .. [ELSE ..] END``."""
+
+    operand: Optional[Expr]
+    whens: List[Tuple[Expr, Expr]]
+    otherwise: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    """A FROM-clause source: a named table/view with an optional alias, or a
+    parenthesized subquery."""
+
+    name: Optional[str] = None
+    alias: Optional[str] = None
+    subquery: Optional["Select"] = None
+
+    @property
+    def effective_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.name:
+            return self.name
+        return "<subquery>"
+
+
+@dataclass
+class Join:
+    table: TableRef
+    on: Optional[Expr] = None
+    kind: str = "INNER"  # INNER | CROSS | LEFT
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectCore:
+    """One arm of a (possibly compound) SELECT."""
+
+    items: List[SelectItem]
+    source: Optional[TableRef] = None
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass
+class Select:
+    """A full SELECT: one or more cores combined with UNION ALL, plus
+    ORDER BY / LIMIT that apply to the compound result."""
+
+    cores: List[SelectCore]
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+
+    @property
+    def is_compound(self) -> bool:
+        return len(self.cores) > 1
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    values: List[List[Expr]]
+    or_replace: bool = False
+    select: Optional[Select] = None  # INSERT INTO ... SELECT ...
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str = ""  # INTEGER, TEXT, REAL, BLOB, BOOLEAN or ''
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Optional[Expr] = None
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: List[ColumnDef]
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateView:
+    name: str
+    select: Select
+    if_not_exists: bool = False
+
+
+@dataclass
+class TriggerAction:
+    """One statement inside a trigger body (Insert/Update/Delete)."""
+
+    statement: Union[Insert, Update, Delete]
+
+
+@dataclass
+class CreateTrigger:
+    name: str
+    event: str  # INSERT | UPDATE | DELETE
+    view: str
+    body: List[TriggerAction]
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropStatement:
+    kind: str  # TABLE | VIEW | TRIGGER
+    name: str
+    if_exists: bool = False
+
+
+Statement = Union[
+    Select, Insert, Update, Delete, CreateTable, CreateView, CreateTrigger, DropStatement
+]

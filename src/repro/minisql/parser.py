@@ -1,0 +1,579 @@
+"""Recursive-descent parser for the mini SQL dialect.
+
+Grammar is the subset documented in :mod:`repro.minisql`. Parse entry point
+is :func:`parse`, which returns a single statement AST; a trailing ``;`` is
+tolerated. Parameters (``?``) are numbered left to right.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlSyntaxError
+from repro.minisql import ast_nodes as ast
+from repro.minisql.tokens import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.peek().matches(kind, value):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in words:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not token.matches(kind, value):
+            raise SqlSyntaxError(
+                f"expected {value or kind} at position {token.position}, "
+                f"found {token.value or 'end of input'!r} in {self.sql!r}"
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        return self.expect("KEYWORD", word)
+
+    # Keywords that may double as identifiers (column/table names), like
+    # SQLite's non-reserved words. Type names are here because real apps
+    # have columns literally named "text".
+    NONRESERVED = ("REPLACE", "KEY", "ALL", "COUNT", "INTEGER", "TEXT", "REAL", "BLOB", "BOOLEAN")
+
+    def identifier(self) -> str:
+        token = self.peek()
+        if token.kind == "IDENT":
+            return self.advance().value
+        if token.kind == "KEYWORD" and token.value in self.NONRESERVED:
+            return self.advance().value.lower()
+        raise SqlSyntaxError(
+            f"expected identifier at position {token.position}, found {token.value!r}"
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.matches("KEYWORD", "SELECT"):
+            return self.parse_select()
+        if token.matches("KEYWORD", "INSERT") or token.matches("KEYWORD", "REPLACE"):
+            return self.parse_insert()
+        if token.matches("KEYWORD", "UPDATE"):
+            return self.parse_update()
+        if token.matches("KEYWORD", "DELETE"):
+            return self.parse_delete()
+        if token.matches("KEYWORD", "CREATE"):
+            return self.parse_create()
+        if token.matches("KEYWORD", "DROP"):
+            return self.parse_drop()
+        raise SqlSyntaxError(f"unsupported statement start: {token.value!r}")
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        cores = [self.parse_select_core()]
+        while self.accept_keyword("UNION"):
+            if not self.accept_keyword("ALL"):
+                raise SqlSyntaxError("only UNION ALL is supported")
+            cores.append(self.parse_select_core())
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expr()
+                descending = False
+                if self.accept_keyword("DESC"):
+                    descending = True
+                elif self.accept_keyword("ASC"):
+                    pass
+                order_by.append(ast.OrderItem(expr=expr, descending=descending))
+                if not self.accept("OP", ","):
+                    break
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.parse_expr()
+            if self.accept_keyword("OFFSET"):
+                offset = self.parse_expr()
+            elif self.accept("OP", ","):
+                # LIMIT offset, count (SQLite compatibility)
+                offset, limit = limit, self.parse_expr()
+        return ast.Select(cores=cores, order_by=order_by, limit=limit, offset=offset)
+
+    def parse_select_core(self) -> ast.SelectCore:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        self.accept_keyword("ALL")
+        items = [self.parse_select_item()]
+        while self.accept("OP", ","):
+            items.append(self.parse_select_item())
+        source = None
+        joins: List[ast.Join] = []
+        if self.accept_keyword("FROM"):
+            source = self.parse_table_ref()
+            while True:
+                if self.accept("OP", ","):
+                    joins.append(ast.Join(table=self.parse_table_ref(), kind="CROSS"))
+                    continue
+                kind = None
+                if self.accept_keyword("CROSS"):
+                    kind = "CROSS"
+                elif self.accept_keyword("INNER"):
+                    kind = "INNER"
+                elif self.accept_keyword("LEFT"):
+                    kind = "LEFT"
+                if kind is not None:
+                    self.expect_keyword("JOIN")
+                elif self.accept_keyword("JOIN"):
+                    kind = "INNER"
+                else:
+                    break
+                table = self.parse_table_ref()
+                on = None
+                if self.accept_keyword("ON"):
+                    on = self.parse_expr()
+                joins.append(ast.Join(table=table, on=on, kind=kind))
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: List[ast.Expr] = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept("OP", ","):
+                group_by.append(self.parse_expr())
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expr()
+        return ast.SelectCore(
+            items=items,
+            source=source,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.accept("OP", "*"):
+            return ast.SelectItem(expr=ast.Star())
+        # table.* form
+        if (
+            self.peek().kind in ("IDENT",)
+            and self.peek(1).matches("OP", ".")
+            and self.peek(2).matches("OP", "*")
+        ):
+            table = self.advance().value
+            self.advance()
+            self.advance()
+            return ast.SelectItem(expr=ast.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        if self.accept("OP", "("):
+            subquery = self.parse_select()
+            self.expect("OP", ")")
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.identifier()
+            elif self.peek().kind == "IDENT":
+                alias = self.advance().value
+            return ast.TableRef(subquery=subquery, alias=alias)
+        name = self.identifier()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    # -- DML --------------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        or_replace = False
+        if self.accept_keyword("REPLACE"):
+            or_replace = True
+        else:
+            self.expect_keyword("INSERT")
+            if self.accept_keyword("OR"):
+                self.expect_keyword("REPLACE")
+                or_replace = True
+        self.expect_keyword("INTO")
+        table = self.identifier()
+        columns: List[str] = []
+        if self.accept("OP", "("):
+            columns.append(self.identifier())
+            while self.accept("OP", ","):
+                columns.append(self.identifier())
+            self.expect("OP", ")")
+        if self.peek().matches("KEYWORD", "SELECT"):
+            select = self.parse_select()
+            return ast.Insert(
+                table=table, columns=columns, values=[], or_replace=or_replace, select=select
+            )
+        self.expect_keyword("VALUES")
+        values: List[List[ast.Expr]] = []
+        while True:
+            self.expect("OP", "(")
+            row = [self.parse_expr()]
+            while self.accept("OP", ","):
+                row.append(self.parse_expr())
+            self.expect("OP", ")")
+            values.append(row)
+            if not self.accept("OP", ","):
+                break
+        return ast.Insert(table=table, columns=columns, values=values, or_replace=or_replace)
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.identifier()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, ast.Expr]] = []
+        while True:
+            column = self.identifier()
+            self.expect("OP", "=")
+            assignments.append((column, self.parse_expr()))
+            if not self.accept("OP", ","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Delete(table=table, where=where)
+
+    # -- DDL --------------------------------------------------------------
+
+    def parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self.parse_create_table()
+        if self.accept_keyword("VIEW"):
+            return self.parse_create_view()
+        if self.accept_keyword("TRIGGER"):
+            return self.parse_create_trigger()
+        raise SqlSyntaxError("expected TABLE, VIEW or TRIGGER after CREATE")
+
+    def _if_not_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    def parse_create_table(self) -> ast.CreateTable:
+        if_not_exists = self._if_not_exists()
+        name = self.identifier()
+        self.expect("OP", "(")
+        columns = [self.parse_column_def()]
+        while self.accept("OP", ","):
+            columns.append(self.parse_column_def())
+        self.expect("OP", ")")
+        return ast.CreateTable(name=name, columns=columns, if_not_exists=if_not_exists)
+
+    def parse_column_def(self) -> ast.ColumnDef:
+        name = self.identifier()
+        column = ast.ColumnDef(name=name)
+        type_token = self.accept_keyword("INTEGER", "TEXT", "REAL", "BLOB", "BOOLEAN")
+        if type_token is not None:
+            column.type_name = type_token.value
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                column.primary_key = True
+                continue
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                column.not_null = True
+                continue
+            if self.accept_keyword("UNIQUE"):
+                column.unique = True
+                continue
+            if self.accept_keyword("DEFAULT"):
+                column.default = self.parse_primary()
+                continue
+            break
+        return column
+
+    def parse_create_view(self) -> ast.CreateView:
+        if_not_exists = self._if_not_exists()
+        name = self.identifier()
+        self.expect_keyword("AS")
+        select = self.parse_select()
+        return ast.CreateView(name=name, select=select, if_not_exists=if_not_exists)
+
+    def parse_create_trigger(self) -> ast.CreateTrigger:
+        if_not_exists = self._if_not_exists()
+        name = self.identifier()
+        self.expect_keyword("INSTEAD")
+        self.expect_keyword("OF")
+        event_token = self.accept_keyword("INSERT", "UPDATE", "DELETE")
+        if event_token is None:
+            raise SqlSyntaxError("expected INSERT, UPDATE or DELETE in trigger")
+        self.expect_keyword("ON")
+        view = self.identifier()
+        self.expect_keyword("BEGIN")
+        body: List[ast.TriggerAction] = []
+        while not self.peek().matches("KEYWORD", "END"):
+            statement = self.parse_statement()
+            if not isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+                raise SqlSyntaxError("trigger bodies may contain only INSERT/UPDATE/DELETE")
+            body.append(ast.TriggerAction(statement=statement))
+            self.expect("OP", ";")
+        self.expect_keyword("END")
+        return ast.CreateTrigger(
+            name=name, event=event_token.value, view=view, body=body, if_not_exists=if_not_exists
+        )
+
+    def parse_drop(self) -> ast.DropStatement:
+        self.expect_keyword("DROP")
+        kind_token = self.accept_keyword("TABLE", "VIEW", "TRIGGER")
+        if kind_token is None:
+            raise SqlSyntaxError("expected TABLE, VIEW or TRIGGER after DROP")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        name = self.identifier()
+        return ast.DropStatement(kind=kind_token.value, name=name, if_exists=if_exists)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.Binary(op="OR", left=left, right=self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.Binary(op="AND", left=left, right=self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.peek().matches("KEYWORD", "NOT") and not self.peek(1).matches("KEYWORD", "EXISTS"):
+            self.advance()
+            return ast.Unary(op="NOT", operand=self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+                self.advance()
+                op = "<>" if token.value == "!=" else token.value
+                left = ast.Binary(op=op, left=left, right=self.parse_additive())
+                continue
+            if token.matches("KEYWORD", "IS"):
+                self.advance()
+                negated = bool(self.accept_keyword("NOT"))
+                self.expect_keyword("NULL")
+                left = ast.IsNull(operand=left, negated=negated)
+                continue
+            negated = False
+            if token.matches("KEYWORD", "NOT"):
+                follower = self.peek(1)
+                if follower.kind == "KEYWORD" and follower.value in ("IN", "LIKE", "BETWEEN", "GLOB"):
+                    self.advance()
+                    negated = True
+                    token = self.peek()
+                else:
+                    break
+            if token.matches("KEYWORD", "IN"):
+                self.advance()
+                self.expect("OP", "(")
+                if self.peek().matches("KEYWORD", "SELECT"):
+                    select = self.parse_select()
+                    self.expect("OP", ")")
+                    left = ast.InSelect(operand=left, select=select, negated=negated)
+                else:
+                    items = []
+                    if not self.peek().matches("OP", ")"):
+                        items.append(self.parse_expr())
+                        while self.accept("OP", ","):
+                            items.append(self.parse_expr())
+                    self.expect("OP", ")")
+                    left = ast.InList(operand=left, items=items, negated=negated)
+                continue
+            if token.matches("KEYWORD", "LIKE") or token.matches("KEYWORD", "GLOB"):
+                self.advance()
+                op = token.value
+                pattern = self.parse_additive()
+                expr: ast.Expr = ast.Binary(op=op, left=left, right=pattern)
+                left = ast.Unary(op="NOT", operand=expr) if negated else expr
+                continue
+            if token.matches("KEYWORD", "BETWEEN"):
+                self.advance()
+                low = self.parse_additive()
+                self.expect_keyword("AND")
+                high = self.parse_additive()
+                left = ast.Between(operand=left, low=low, high=high, negated=negated)
+                continue
+            break
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("+", "-", "||"):
+                self.advance()
+                left = ast.Binary(op=token.value, left=left, right=self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("*", "/", "%"):
+                self.advance()
+                left = ast.Binary(op=token.value, left=left, right=self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "OP" and token.value in ("-", "+"):
+            self.advance()
+            return ast.Unary(op=token.value, operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value=value)
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Literal(value=token.value)
+        if token.matches("KEYWORD", "NULL"):
+            self.advance()
+            return ast.Literal(value=None)
+        if token.matches("OP", "?"):
+            self.advance()
+            param = ast.Param(index=self.param_count)
+            self.param_count += 1
+            return param
+        if token.matches("KEYWORD", "CASE"):
+            return self.parse_case()
+        if token.matches("KEYWORD", "EXISTS") or (
+            token.matches("KEYWORD", "NOT") and self.peek(1).matches("KEYWORD", "EXISTS")
+        ):
+            negated = False
+            if token.matches("KEYWORD", "NOT"):
+                self.advance()
+                negated = True
+            self.expect_keyword("EXISTS")
+            self.expect("OP", "(")
+            select = self.parse_select()
+            self.expect("OP", ")")
+            return ast.ExistsSelect(select=select, negated=negated)
+        if token.matches("OP", "("):
+            self.advance()
+            if self.peek().matches("KEYWORD", "SELECT"):
+                select = self.parse_select()
+                self.expect("OP", ")")
+                return ast.ScalarSelect(select=select)
+            expr = self.parse_expr()
+            self.expect("OP", ")")
+            return expr
+        if token.kind == "IDENT" or (
+            token.kind == "KEYWORD" and token.value in self.NONRESERVED
+        ):
+            # Function call or column reference.
+            name = self.advance().value
+            if token.kind == "KEYWORD":
+                name = name.lower()
+            if self.accept("OP", "("):
+                star = False
+                distinct = False
+                args: List[ast.Expr] = []
+                if self.accept("OP", "*"):
+                    star = True
+                elif not self.peek().matches("OP", ")"):
+                    distinct = bool(self.accept_keyword("DISTINCT"))
+                    args.append(self.parse_expr())
+                    while self.accept("OP", ","):
+                        args.append(self.parse_expr())
+                self.expect("OP", ")")
+                return ast.FunctionCall(name=name.lower(), args=args, star=star, distinct=distinct)
+            if self.accept("OP", "."):
+                column = self.identifier()
+                return ast.Column(name=column, table=name)
+            return ast.Column(name=name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position} in {self.sql!r}"
+        )
+
+    def parse_case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.peek().matches("KEYWORD", "WHEN"):
+            operand = self.parse_expr()
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expr()))
+        otherwise = None
+        if self.accept_keyword("ELSE"):
+            otherwise = self.parse_expr()
+        self.expect_keyword("END")
+        return ast.CaseExpr(operand=operand, whens=whens, otherwise=otherwise)
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement; trailing semicolon permitted."""
+    parser = _Parser(sql)
+    statement = parser.parse_statement()
+    parser.accept("OP", ";")
+    if not parser.peek().matches("EOF"):
+        token = parser.peek()
+        raise SqlSyntaxError(
+            f"trailing input at position {token.position}: {token.value!r} in {sql!r}"
+        )
+    # Stamp the number of ? placeholders so the engine can validate bind
+    # arity up front (SQLite errors at bind time, not lazily).
+    statement.param_count = parser.param_count  # type: ignore[attr-defined]
+    return statement

@@ -1,0 +1,25 @@
+"""Workload generators, the latency model, and measurement harness used by
+the benchmark suite (``benchmarks/``)."""
+
+from repro.workloads.generators import (
+    deterministic_bytes,
+    make_dictionary_words,
+    make_external_files,
+    make_image_files,
+)
+from repro.workloads.harness import Measurement, measure, overhead_pct
+from repro.workloads.latency import TASK_BASELINES_MS, modelled_task_latency
+from repro.workloads.reports import render_table
+
+__all__ = [
+    "deterministic_bytes",
+    "make_dictionary_words",
+    "make_external_files",
+    "make_image_files",
+    "Measurement",
+    "measure",
+    "overhead_pct",
+    "TASK_BASELINES_MS",
+    "modelled_task_latency",
+    "render_table",
+]

@@ -1,0 +1,89 @@
+"""Deterministic workload generators.
+
+Everything is seeded so runs are reproducible: file contents derive from a
+counter-mode hash, dictionary words from a fixed list crossed with
+indices. Sizes follow the paper's microbenchmarks (4 KB and 1 MB files,
+1000-row dictionary, 100 × 1 KB downloads, 100 × 780 KB images).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, List
+
+from repro.android.app_api import AppApi
+
+KB = 1024
+MB = 1024 * KB
+
+#: Sizes from the paper's evaluation.
+SMALL_FILE = 4 * KB
+LARGE_FILE = 1 * MB
+DOWNLOAD_FILE = 1 * KB
+IMAGE_FILE = 780 * KB
+DICTIONARY_ROWS = 1000
+
+
+def deterministic_bytes(size: int, seed: str = "maxoid") -> bytes:
+    """``size`` pseudo-random bytes, stable across runs (counter-mode
+    SHA-256 — no ``random`` module, so hypothesis/pytest seeds don't
+    interfere)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out.extend(hashlib.sha256(f"{seed}:{counter}".encode()).digest())
+        counter += 1
+    return bytes(out[:size])
+
+
+_WORD_STEMS = [
+    "maxoid", "android", "aufs", "binder", "intent", "zygote", "delta",
+    "volatile", "delegate", "initiator", "whiteout", "branch", "mount",
+    "confinement", "taint", "provider",
+]
+
+
+def make_dictionary_words(count: int = DICTIONARY_ROWS) -> List[str]:
+    """``count`` distinct dictionary words."""
+    return [f"{_WORD_STEMS[i % len(_WORD_STEMS)]}{i}" for i in range(count)]
+
+
+def make_external_files(api: AppApi, count: int, size: int, subdir: str = "bench") -> List[str]:
+    """Create ``count`` files of ``size`` bytes on external storage via the
+    given app's view; returns their paths."""
+    paths = []
+    payload = deterministic_bytes(size)
+    for index in range(count):
+        paths.append(api.write_external(f"{subdir}/file{index:04d}.bin", payload))
+    return paths
+
+
+def make_internal_files(api: AppApi, count: int, size: int, subdir: str = "bench") -> List[str]:
+    """Create files in the app's internal private storage."""
+    paths = []
+    payload = deterministic_bytes(size)
+    for index in range(count):
+        paths.append(api.write_internal(f"{subdir}/file{index:04d}.bin", payload))
+    return paths
+
+
+def make_image_files(api: AppApi, count: int = 100, size: int = IMAGE_FILE) -> List[str]:
+    """The Table 4 image set: ``count`` images of ~780 KB on the SD card."""
+    paths = []
+    payload = b"\xff\xd8" + deterministic_bytes(size - 2)
+    for index in range(count):
+        paths.append(api.write_external(f"DCIM/bench/img{index:04d}.jpg", payload))
+    return paths
+
+
+def publish_download_set(device: Any, count: int = 100, size: int = DOWNLOAD_FILE, host: str = "bench.example.com") -> List[str]:
+    """Publish ``count`` files of ``size`` bytes on the fake internet for
+    the Table 4 download benchmark; returns resource names."""
+    names = []
+    payload = deterministic_bytes(size)
+    device.network.add_host(host)
+    for index in range(count):
+        name = f"dl{index:04d}.bin"
+        device.network.publish(host, name, payload)
+        names.append(name)
+    return names

@@ -1,0 +1,77 @@
+"""Measurement harness: timed trials with mean/std, overhead computation.
+
+The paper reports microbenchmarks "averaged over 1000 trials" and app
+benchmarks "averaged over 5 trials" with ± the standard deviation; the
+harness reproduces that reporting style over the simulation's wall-clock
+times.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from statistics import mean, median, stdev
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Measurement:
+    """Mean/median/std over repeated trials, in milliseconds."""
+
+    label: str
+    trials_ms: List[float]
+
+    @property
+    def mean_ms(self) -> float:
+        return mean(self.trials_ms)
+
+    @property
+    def median_ms(self) -> float:
+        return median(self.trials_ms)
+
+    @property
+    def std_ms(self) -> float:
+        return stdev(self.trials_ms) if len(self.trials_ms) > 1 else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean_ms:.3f}±{self.std_ms:.3f} ms"
+
+
+def measure(
+    fn: Callable[[], object],
+    trials: int = 100,
+    label: str = "",
+    setup: Optional[Callable[[], object]] = None,
+    warmup: int = 2,
+) -> Measurement:
+    """Time ``fn`` over ``trials`` runs (per-trial ``setup`` untimed)."""
+    for _ in range(warmup):
+        if setup is not None:
+            setup()
+        fn()
+    samples: List[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()  # keep collector pauses out of per-op samples
+    try:
+        for _ in range(trials):
+            if setup is not None:
+                setup()
+            start = time.perf_counter()
+            fn()
+            samples.append((time.perf_counter() - start) * 1000.0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return Measurement(label=label, trials_ms=samples)
+
+
+def overhead_pct(baseline: Measurement, treatment: Measurement) -> float:
+    """Relative overhead of ``treatment`` over ``baseline``, in percent
+    (the paper's Table 3 metric).
+
+    Computed over per-trial *medians*: interpreter/allocator outliers
+    otherwise dominate micro-operation means on a busy machine."""
+    if baseline.median_ms <= 0:
+        return 0.0
+    return (treatment.median_ms - baseline.median_ms) / baseline.median_ms * 100.0

@@ -1,0 +1,34 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print tables shaped like the paper's so a reader can diff them
+side by side; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def pct(value: float) -> str:
+    """Format a percentage the way Table 3 does."""
+    return f"{value:.1f}%"

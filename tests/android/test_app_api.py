@@ -1,0 +1,131 @@
+"""Tests for the app-facing API surface (AppApi)."""
+
+import pytest
+
+from repro.errors import FileNotFound, NetworkUnreachable
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro import AndroidManifest
+
+A = "com.api.owner"
+B = "com.api.helper"
+
+
+class Nop:
+    def main(self, api, intent):
+        return None
+
+
+@pytest.fixture
+def env(device):
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    device.network.publish("host.example", "res", b"resource-bytes")
+    return device
+
+
+class TestIdentity:
+    def test_package_and_paths(self, env):
+        api = env.spawn(A)
+        assert api.package == A
+        assert api.internal_dir == f"/data/data/{A}"
+        assert api.extdir == "/storage/sdcard"
+
+    def test_is_delegate_flag(self, env):
+        assert not env.spawn(A).is_delegate
+        assert env.spawn(B, initiator=A).is_delegate
+
+
+class TestFileHelpers:
+    def test_write_read_external(self, env):
+        api = env.spawn(A)
+        path = api.write_external("dir/file.bin", b"ext")
+        assert path == "/storage/sdcard/dir/file.bin"
+        assert api.read_external("dir/file.bin") == b"ext"
+
+    def test_external_files_world_accessible(self, env):
+        env.spawn(A).write_external("shared.bin", b"x")
+        assert env.spawn(B).read_external("shared.bin") == b"x"
+
+    def test_write_read_internal(self, env):
+        api = env.spawn(A)
+        path = api.write_internal("cfg/settings.bin", b"int")
+        assert path == f"/data/data/{A}/cfg/settings.bin"
+        assert api.read_internal("cfg/settings.bin") == b"int"
+
+    def test_internal_files_private(self, env):
+        env.spawn(A).write_internal("secret.bin", b"s")
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError):
+            env.spawn(B).sys.read_file(f"/data/data/{A}/secret.bin")
+
+
+class TestNetworkHelpers:
+    def test_fetch(self, env):
+        assert env.spawn(A).fetch("host.example", "res") == b"resource-bytes"
+
+    def test_fetch_unknown_resource(self, env):
+        with pytest.raises(FileNotFound):
+            env.spawn(A).fetch("host.example", "missing")
+
+    def test_delegate_fetch_denied(self, env):
+        with pytest.raises(NetworkUnreachable):
+            env.spawn(B, initiator=A).fetch("host.example", "res")
+
+
+class TestDatabaseHelpers:
+    def test_private_db_roundtrip(self, env):
+        api = env.spawn(A)
+        db = api.db("store")
+        db.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, k TEXT, v TEXT)")
+        db.execute("INSERT INTO kv (k, v) VALUES ('a', '1')")
+        again = env.spawn(A).db("store")
+        assert again.query("SELECT v FROM kv WHERE k = 'a'").scalar() == "1"
+
+    def test_delegate_db_writes_confined(self, env):
+        owner = env.spawn(B)
+        db = owner.db("store")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t (v) VALUES ('original')")
+        delegate = env.spawn(B, initiator=A)
+        ddb = delegate.db("store")
+        ddb.execute("INSERT INTO t (v) VALUES ('by-delegate')")
+        assert len(ddb.query("SELECT * FROM t").rows) == 2
+        fresh = env.spawn(B).db("store")
+        assert len(fresh.query("SELECT * FROM t").rows) == 1
+
+
+class TestProviderShortcuts:
+    def test_insert_query_roundtrip(self, env):
+        api = env.spawn(A)
+        uri = api.insert(Uri.content("user_dictionary", "words"), ContentValues({"word": "w"}))
+        assert api.query(uri).rows
+
+    def test_grant_uri_permission_delegates_to_resolver(self, env):
+        api = env.spawn(A)
+        uri = Uri.content("some.app.provider", "item", "1")
+        api.grant_uri_permission(B, uri)
+        assert env.resolver.grants.has_grant(B, uri)
+
+
+class TestMaxoidApis:
+    def test_clear_my_volatile(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.write_external("junk.bin", b"j")
+        a = env.spawn(A)
+        assert a.clear_my_volatile() == 1
+
+    def test_clear_my_delegate_priv(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.write_internal("state.bin", b"s")
+        a = env.spawn(A)
+        assert a.clear_my_delegate_priv() >= 1
+
+    def test_ppriv_accessor(self, env):
+        delegate = env.spawn(B, initiator=A)
+        assert delegate.ppriv.available
+        prefs = delegate.ppriv.preferences()
+        prefs.put("k", "persistent")
+        again = env.spawn(B, initiator=A)
+        assert again.ppriv.preferences().get("k") == "persistent"

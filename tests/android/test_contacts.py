@@ -1,0 +1,133 @@
+"""Contacts provider tests (the fourth COW-proxy port, an extension —
+paper 5.1 names Contacts among the leak-prone shared resources)."""
+
+import pytest
+
+from repro.errors import SecurityException
+from repro.android.content.contacts import CONTACTS_URI, DETAILS_URI, PHONES_URI
+from repro.android.content.provider import ContentValues
+from repro import AndroidManifest
+
+A = "com.app.dialer"
+B = "com.app.messenger"
+
+
+@pytest.fixture
+def env(device):
+    class Nop:
+        def main(self, api, intent):
+            return None
+
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    return device
+
+
+def add_contact(env, api, name, number):
+    return env.contacts.add_contact(env.resolver, api.process, name, number)
+
+
+class TestPublicContacts:
+    def test_add_and_query(self, env):
+        api = env.spawn(A)
+        contact_id = add_contact(env, api, "Ada", "+1-555-0001")
+        rows = api.query(CONTACTS_URI, projection=["display_name"]).rows
+        assert rows == [("Ada",)]
+        assert contact_id == 1
+
+    def test_details_view_joins(self, env):
+        api = env.spawn(A)
+        add_contact(env, api, "Ada", "+1-555-0001")
+        add_contact(env, api, "Grace", "+1-555-0002")
+        rows = api.query(DETAILS_URI, projection=["display_name", "number"], order_by="_id").rows
+        assert rows == [("Ada", "+1-555-0001"), ("Grace", "+1-555-0002")]
+
+    def test_details_view_read_only(self, env):
+        api = env.spawn(A)
+        with pytest.raises(SecurityException):
+            api.insert(DETAILS_URI, ContentValues({"display_name": "nope"}))
+
+    def test_update_by_id(self, env):
+        api = env.spawn(A)
+        add_contact(env, api, "Ada", "+1")
+        api.update(CONTACTS_URI.with_appended_id(1), ContentValues({"starred": 1}))
+        assert api.query(CONTACTS_URI, projection=["starred"]).rows == [(1,)]
+
+    def test_not_null_name_enforced(self, env):
+        from repro.errors import SqlIntegrityError
+
+        api = env.spawn(A)
+        with pytest.raises(SqlIntegrityError):
+            api.insert(CONTACTS_URI, ContentValues({"starred": 1}))
+
+
+class TestDelegateConfinement:
+    def test_delegate_added_contact_is_volatile(self, env):
+        a = env.spawn(A)
+        delegate = env.spawn(B, initiator=A)
+        add_contact(env, delegate, "Secret Contact", "+1-555-9999")
+        # The delegate reads its write through the details view...
+        rows = delegate.query(DETAILS_URI, projection=["display_name"]).rows
+        assert rows == [("Secret Contact",)]
+        # ...publicly nothing exists.
+        assert env.spawn(B).query(CONTACTS_URI).rows == []
+
+    def test_delegate_sees_public_plus_volatile(self, env):
+        a = env.spawn(A)
+        add_contact(env, a, "Public Person", "+1")
+        delegate = env.spawn(B, initiator=A)
+        add_contact(env, delegate, "Volatile Person", "+2")
+        names = sorted(
+            r[0] for r in delegate.query(CONTACTS_URI, projection=["display_name"]).rows
+        )
+        assert names == ["Public Person", "Volatile Person"]
+
+    def test_delegate_edit_copies_on_write(self, env):
+        a = env.spawn(A)
+        add_contact(env, a, "Ada", "+1")
+        delegate = env.spawn(B, initiator=A)
+        delegate.update(
+            CONTACTS_URI.with_appended_id(1), ContentValues({"display_name": "Hacked"})
+        )
+        assert a.query(CONTACTS_URI, projection=["display_name"]).rows == [("Ada",)]
+
+    def test_delegate_delete_is_whiteout(self, env):
+        a = env.spawn(A)
+        add_contact(env, a, "Ada", "+1")
+        delegate = env.spawn(B, initiator=A)
+        delegate.delete(CONTACTS_URI.with_appended_id(1))
+        assert delegate.query(CONTACTS_URI).rows == []
+        assert len(a.query(CONTACTS_URI).rows) == 1
+
+    def test_initiator_commits_volatile_contact(self, env):
+        a = env.spawn(A)
+        delegate = env.spawn(B, initiator=A)
+        add_contact(env, delegate, "Keeper", "+7")
+        volatile = a.query(CONTACTS_URI.to_volatile()).rows
+        assert volatile
+        row_id = volatile[0][0]
+        assert env.contacts.proxy.commit_volatile("contacts", A, row_id)
+        assert ("Keeper",) in env.spawn(B).query(
+            CONTACTS_URI, projection=["display_name"]
+        ).rows
+
+    def test_clear_volatile_discards_contacts(self, env):
+        delegate = env.spawn(B, initiator=A)
+        add_contact(env, delegate, "Junk", "+0")
+        env.clear_volatile(A)
+        fresh = env.spawn(B, initiator=A)
+        assert fresh.query(CONTACTS_URI).rows == []
+
+    def test_join_view_over_mixed_state(self, env):
+        """The COW hierarchy: a volatile phone number attached to a public
+        contact appears in the delegate's details view only."""
+        a = env.spawn(A)
+        add_contact(env, a, "Ada", "+1")
+        delegate = env.spawn(B, initiator=A)
+        delegate.insert(PHONES_URI, ContentValues({"contact_id": 1, "number": "+extra"}))
+        delegate_numbers = sorted(
+            r[1] for r in delegate.query(DETAILS_URI, projection=["display_name", "number"]).rows
+        )
+        assert delegate_numbers == ["+1", "+extra"]
+        public_numbers = [r[1] for r in a.query(DETAILS_URI, projection=["display_name", "number"]).rows]
+        assert public_numbers == ["+1"]

@@ -1,0 +1,149 @@
+"""Media provider tests: view hierarchy, scanner, thumbnail states
+(paper section 5.3)."""
+
+import pytest
+
+from repro.errors import SecurityException
+from repro.android.content.media import FILES_URI, MEDIA_TYPE_IMAGE
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro import AndroidManifest
+
+A = "com.app.gallery"
+B = "com.app.editor"
+
+IMAGES = Uri.content("media", "images")
+AUDIO = Uri.content("media", "audio")
+VIDEO = Uri.content("media", "video")
+
+
+@pytest.fixture
+def env(device):
+    class Nop:
+        def main(self, api, intent):
+            return None
+
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    return device
+
+
+class TestBasicStore:
+    def test_insert_and_query_files(self, env):
+        api = env.spawn(A)
+        api.insert(FILES_URI, ContentValues({"_data": "/storage/sdcard/x.jpg", "media_type": 1, "title": "x"}))
+        rows = api.query(FILES_URI, projection=["title"]).rows
+        assert rows == [("x",)]
+
+    def test_images_view_selects_by_type(self, env):
+        api = env.spawn(A)
+        api.insert(FILES_URI, ContentValues({"_data": "/a.jpg", "media_type": 1, "title": "pic"}))
+        api.insert(FILES_URI, ContentValues({"_data": "/a.mp4", "media_type": 3, "title": "vid"}))
+        assert [r[0] for r in api.query(IMAGES, projection=["title"]).rows] == ["pic"]
+        assert [r[0] for r in api.query(VIDEO, projection=["title"]).rows] == ["vid"]
+
+    def test_views_are_read_only(self, env):
+        api = env.spawn(A)
+        with pytest.raises(SecurityException):
+            api.insert(IMAGES, ContentValues({"title": "nope"}))
+
+    def test_audio_joins_artists_albums(self, env):
+        api = env.spawn(A)
+        artists = Uri.content("media", "artists")
+        albums = Uri.content("media", "albums")
+        api.insert(artists, ContentValues({"artist": "The Kernels"}))
+        api.insert(albums, ContentValues({"album": "Mount Points"}))
+        api.insert(
+            FILES_URI,
+            ContentValues(
+                {"_data": "/s.mp3", "media_type": 2, "title": "Unionfs Blues",
+                 "artist_id": 1, "album_id": 1}
+            ),
+        )
+        rows = api.query(AUDIO, projection=["title", "artist", "album"]).rows
+        assert rows == [("Unionfs Blues", "The Kernels", "Mount Points")]
+
+
+class TestDelegateViews:
+    def test_delegate_insert_volatile_in_files_and_views(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.insert(FILES_URI, ContentValues({"_data": "/d.jpg", "media_type": 1, "title": "secret-pic"}))
+        assert [r[0] for r in delegate.query(IMAGES, projection=["title"]).rows] == ["secret-pic"]
+        # Public views see nothing.
+        public = env.spawn(B)
+        assert public.query(IMAGES).rows == []
+        assert public.query(FILES_URI).rows == []
+
+    def test_delegate_sees_merged_images_view(self, env):
+        env.spawn(A).insert(FILES_URI, ContentValues({"_data": "/pub.jpg", "media_type": 1, "title": "pub"}))
+        delegate = env.spawn(B, initiator=A)
+        delegate.insert(FILES_URI, ContentValues({"_data": "/vol.jpg", "media_type": 1, "title": "vol"}))
+        titles = sorted(r[0] for r in delegate.query(IMAGES, projection=["title"]).rows)
+        assert titles == ["pub", "vol"]
+
+    def test_delegate_audio_view_over_cow_hierarchy(self, env):
+        a = env.spawn(A)
+        a.insert(Uri.content("media", "artists"), ContentValues({"artist": "Public Artist"}))
+        a.insert(Uri.content("media", "albums"), ContentValues({"album": "Public Album"}))
+        delegate = env.spawn(B, initiator=A)
+        delegate.insert(
+            FILES_URI,
+            ContentValues({"_data": "/v.mp3", "media_type": 2, "title": "Volatile Song",
+                           "artist_id": 1, "album_id": 1}),
+        )
+        rows = delegate.query(AUDIO, projection=["title", "artist"]).rows
+        assert ("Volatile Song", "Public Artist") in rows
+        assert env.spawn(A).query(AUDIO).rows == []
+
+    def test_delegate_update_via_files_cow(self, env):
+        a = env.spawn(A)
+        uri = a.insert(FILES_URI, ContentValues({"_data": "/p.jpg", "media_type": 1, "title": "orig"}))
+        delegate = env.spawn(B, initiator=A)
+        delegate.update(uri, ContentValues({"title": "renamed"}))
+        assert [r[0] for r in delegate.query(IMAGES, projection=["title"]).rows] == ["renamed"]
+        assert [r[0] for r in a.query(IMAGES, projection=["title"]).rows] == ["orig"]
+
+    def test_initiator_reads_volatile_media_via_tmp_uri(self, env):
+        a = env.spawn(A)
+        delegate = env.spawn(B, initiator=A)
+        delegate.insert(FILES_URI, ContentValues({"_data": "/v.jpg", "media_type": 1, "title": "voltitle"}))
+        rows = a.query(FILES_URI.to_volatile()).rows
+        assert any("voltitle" in row for row in rows)
+
+
+class TestScannerAndThumbnails:
+    def test_public_scan_creates_public_thumbnail(self, env):
+        api = env.spawn(A)
+        path = api.write_external("DCIM/pic.jpg", b"\xff\xd8IMAGEDATA")
+        api.scan_media(path)
+        thumb = "/storage/sdcard/DCIM/.thumbnails/pic.jpg.thumb"
+        assert env.spawn(B).sys.exists(thumb)
+
+    def test_delegate_scan_thumbnail_is_volatile(self, env):
+        a = env.spawn(A)
+        a.write_external("DCIM/private.jpg", b"\xff\xd8PRIVATE")
+        delegate = env.spawn(B, initiator=A)
+        delegate.scan_media("/storage/sdcard/DCIM/private.jpg")
+        thumb = "/storage/sdcard/DCIM/.thumbnails/private.jpg.thumb"
+        assert not env.spawn(B).sys.exists(thumb)  # not public
+        assert a.sys.exists("/storage/sdcard/tmp/DCIM/.thumbnails/private.jpg.thumb")
+
+    def test_scan_extracts_size_and_type(self, env):
+        api = env.spawn(A)
+        path = api.write_external("DCIM/sized.jpg", b"\xff\xd8" + b"x" * 100)
+        api.scan_media(path)
+        row = api.query(FILES_URI, projection=["media_type", "size"]).rows[0]
+        assert row == (MEDIA_TYPE_IMAGE, 102)
+
+    def test_initiator_volatile_scan(self, env):
+        api = env.spawn(A)
+        path = api.write_external("DCIM/v.jpg", b"\xff\xd8V")
+        uri = api.scan_media(path, volatile=True)
+        assert uri.is_volatile
+        assert env.spawn(B).query(FILES_URI).rows == []
+
+    def test_open_file_follows_record_state(self, env):
+        api = env.spawn(A)
+        path = api.write_external("DCIM/both.jpg", b"\xff\xd8CONTENT")
+        uri = api.scan_media(path)
+        assert api.open_input(uri) == b"\xff\xd8CONTENT"

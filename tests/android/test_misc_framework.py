@@ -1,0 +1,114 @@
+"""Smaller framework pieces: ContentValues, media type detection, the
+SimApp dispatch mechanism, download notifications."""
+
+import pytest
+
+from repro.android.content.downloads import DownloadNotification
+from repro.android.content.media import (
+    MEDIA_TYPE_AUDIO,
+    MEDIA_TYPE_IMAGE,
+    MEDIA_TYPE_NONE,
+    MEDIA_TYPE_VIDEO,
+)
+from repro.android.content.provider import ContentValues
+from repro.android.intents import Intent
+from repro.android.services.media_scanner import media_type_for
+from repro.apps.base import AppBuild, SimApp
+from repro import AndroidManifest, Device
+
+
+class TestContentValues:
+    def test_put_get_chainable(self):
+        values = ContentValues().put("a", 1).put("b", 2)
+        assert values.get("a") == 1
+        assert len(values) == 2
+        assert "b" in values
+
+    def test_as_dict_is_a_copy(self):
+        values = ContentValues({"k": 1})
+        snapshot = values.as_dict()
+        snapshot["k"] = 99
+        assert values.get("k") == 1
+
+    def test_default_not_volatile(self):
+        assert not ContentValues().is_volatile
+        assert ContentValues(is_volatile=True).is_volatile
+
+    def test_get_default(self):
+        assert ContentValues().get("missing", "fb") == "fb"
+
+
+class TestMediaTypeDetection:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/a/photo.jpg", MEDIA_TYPE_IMAGE),
+            ("/a/photo.JPEG", MEDIA_TYPE_IMAGE),
+            ("/a/art.png", MEDIA_TYPE_IMAGE),
+            ("/a/song.mp3", MEDIA_TYPE_AUDIO),
+            ("/a/clip.mp4", MEDIA_TYPE_VIDEO),
+            ("/a/film.mkv", MEDIA_TYPE_VIDEO),
+            ("/a/readme.txt", MEDIA_TYPE_NONE),
+            ("/a/no-extension", MEDIA_TYPE_NONE),
+        ],
+    )
+    def test_extension_mapping(self, path, expected):
+        assert media_type_for(path) == expected
+
+
+class TestDownloadNotification:
+    def test_volatility_derives_from_state(self):
+        public = DownloadNotification(1, "t", "/p", state=None)
+        volatile = DownloadNotification(2, "t", "/p", state="com.app")
+        assert not public.is_volatile
+        assert volatile.is_volatile
+
+
+class TestSimAppDispatch:
+    class EchoApp(SimApp):
+        BUILD = AppBuild(package="com.dispatch.echo")
+
+        def on_view(self, api, intent):
+            return "viewed"
+
+        def on_scan(self, api, intent):
+            return "scanned"
+
+        def on_default(self, api, intent):
+            return f"default:{intent.action}"
+
+    @pytest.fixture
+    def env(self):
+        device = Device(maxoid_enabled=True)
+        app = self.EchoApp.install(device)
+        return device, app
+
+    def test_dispatch_to_action_handler(self, env):
+        device, app = env
+        api = device.spawn("com.dispatch.echo")
+        assert app.main(api, Intent(Intent.ACTION_VIEW)) == "viewed"
+        assert app.main(api, Intent(Intent.ACTION_SCAN)) == "scanned"
+
+    def test_unknown_action_falls_back_to_default(self, env):
+        device, app = env
+        api = device.spawn("com.dispatch.echo")
+        assert app.main(api, Intent("custom.WEIRD")) == "default:custom.WEIRD"
+
+    def test_known_action_without_handler_falls_back(self, env):
+        device, app = env
+        api = device.spawn("com.dispatch.echo")
+        # EDIT maps to on_edit, which EchoApp lacks.
+        assert app.main(api, Intent(Intent.ACTION_EDIT)) == f"default:{Intent.ACTION_EDIT}"
+
+    def test_invocations_recorded(self, env):
+        device, app = env
+        api = device.spawn("com.dispatch.echo")
+        app.main(api, Intent(Intent.ACTION_VIEW))
+        app.main(api, Intent(Intent.ACTION_SCAN))
+        assert app.invocations == [Intent.ACTION_VIEW, Intent.ACTION_SCAN]
+
+    def test_build_manifest_materializes(self):
+        manifest = self.EchoApp.BUILD.manifest()
+        assert isinstance(manifest, AndroidManifest)
+        assert manifest.package == "com.dispatch.echo"
+        assert manifest.label == "echo"

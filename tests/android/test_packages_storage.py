@@ -1,0 +1,173 @@
+"""Package manager, storage layout, shared prefs, private databases."""
+
+import pytest
+
+from repro.errors import PackageNotFound
+from repro.android.intents import Intent, IntentFilter
+from repro.android.packages import AndroidManifest, PackageManager
+from repro.android.permissions import Permission
+from repro.android.storage import PrivateDatabase, SharedPreferences, StorageLayout
+from repro.kernel.mounts import MountNamespace
+from repro.kernel.proc import Process, TaskContext
+from repro.kernel.syscall import Syscalls
+from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
+
+
+@pytest.fixture
+def pm():
+    return PackageManager(Filesystem(label="system"))
+
+
+def manifest(package, handles=None, permissions=frozenset()):
+    return AndroidManifest(package=package, handles=handles or [], permissions=permissions)
+
+
+class TestPackageManager:
+    def test_install_assigns_distinct_uids(self, pm):
+        a = pm.install(manifest("com.a"))
+        b = pm.install(manifest("com.b"))
+        assert a.uid != b.uid
+        assert a.uid >= 10001
+
+    def test_install_creates_private_dir(self):
+        fs = Filesystem()
+        pm = PackageManager(fs)
+        installed = pm.install(manifest("com.a"))
+        stat = fs.stat("/data/data/com.a", ROOT_CRED)
+        assert stat.is_dir
+        assert stat.uid == installed.uid
+        # 0751 like Android 4.3: searchable by others (the GDrive cache
+        # trick), but not listable or writable.
+        assert stat.mode == 0o751
+
+    def test_double_install_rejected(self, pm):
+        pm.install(manifest("com.a"))
+        with pytest.raises(ValueError):
+            pm.install(manifest("com.a"))
+
+    def test_get_unknown_raises(self, pm):
+        with pytest.raises(PackageNotFound):
+            pm.get("com.ghost")
+
+    def test_uninstall(self, pm):
+        pm.install(manifest("com.a"))
+        pm.uninstall("com.a")
+        assert not pm.is_installed("com.a")
+
+    def test_permissions(self, pm):
+        pm.install(manifest("com.a", permissions=frozenset([Permission.INTERNET])))
+        assert pm.has_permission("com.a", Permission.INTERNET)
+        assert not pm.has_permission("com.a", Permission.CAMERA)
+
+    def test_resolve_by_filter(self, pm):
+        pm.install(manifest("com.viewer", handles=[IntentFilter(actions=[Intent.ACTION_VIEW])]))
+        pm.install(manifest("com.other"))
+        assert pm.resolve_intent(Intent(Intent.ACTION_VIEW)) == ["com.viewer"]
+
+    def test_resolve_excludes_sender(self, pm):
+        pm.install(manifest("com.viewer", handles=[IntentFilter(actions=[Intent.ACTION_VIEW])]))
+        assert pm.resolve_intent(Intent(Intent.ACTION_VIEW), exclude="com.viewer") == []
+
+    def test_resolve_explicit_component(self, pm):
+        pm.install(manifest("com.a"))
+        assert pm.resolve_intent(Intent("whatever", component="com.a")) == ["com.a"]
+
+    def test_resolve_priority_order(self, pm):
+        pm.install(
+            manifest("com.zzz", handles=[IntentFilter(actions=[Intent.ACTION_VIEW], priority=5)])
+        )
+        pm.install(
+            manifest("com.aaa", handles=[IntentFilter(actions=[Intent.ACTION_VIEW], priority=1)])
+        )
+        assert pm.resolve_intent(Intent(Intent.ACTION_VIEW)) == ["com.zzz", "com.aaa"]
+
+
+class TestStorageLayout:
+    def test_paths(self):
+        layout = StorageLayout("com.example")
+        assert layout.internal_dir == "/data/data/com.example"
+        assert layout.ppriv_dir == "/data/data/ppriv/com.example"
+        assert layout.database_path("x") == "/data/data/com.example/databases/x.db"
+        assert layout.ppriv_database_path("x") == "/data/data/ppriv/com.example/databases/x.db"
+
+
+def make_sys(uid=0):
+    process = Process(
+        cred=Credentials(uid=uid),
+        namespace=MountNamespace(Filesystem()),
+        context=TaskContext(app="com.a"),
+    )
+    return Syscalls(process)
+
+
+class TestSharedPreferences:
+    def test_put_get(self):
+        sys = make_sys()
+        prefs = SharedPreferences(sys, "/data/prefs.json")
+        prefs.put("theme", "dark")
+        assert prefs.get("theme") == "dark"
+
+    def test_default(self):
+        prefs = SharedPreferences(make_sys(), "/data/prefs.json")
+        assert prefs.get("missing", 42) == 42
+
+    def test_remove(self):
+        prefs = SharedPreferences(make_sys(), "/data/prefs.json")
+        prefs.put("k", 1)
+        prefs.remove("k")
+        assert prefs.get("k") is None
+
+    def test_append_to_list_with_cap(self):
+        prefs = SharedPreferences(make_sys(), "/data/prefs.json")
+        for index in range(5):
+            prefs.append_to_list("recent", index, max_length=3)
+        assert prefs.get("recent") == [2, 3, 4]
+
+    def test_persisted_as_file(self):
+        sys = make_sys()
+        prefs = SharedPreferences(sys, "/data/prefs.json")
+        prefs.put("k", "v")
+        assert b'"k"' in sys.read_file("/data/prefs.json")
+
+
+class TestPrivateDatabase:
+    def test_create_insert_query(self):
+        sys = make_sys()
+        db = PrivateDatabase(sys, "/data/app.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t (v) VALUES (?)", ["hello"])
+        assert db.query("SELECT v FROM t").rows == [("hello",)]
+
+    def test_persists_across_reopen(self):
+        sys = make_sys()
+        db = PrivateDatabase(sys, "/data/app.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t (v) VALUES ('persisted')")
+        reopened = PrivateDatabase(sys, "/data/app.db")
+        assert reopened.query("SELECT v FROM t").rows == [("persisted",)]
+
+    def test_blob_values_survive_serialization(self):
+        sys = make_sys()
+        db = PrivateDatabase(sys, "/data/app.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, b BLOB)")
+        db.execute("INSERT INTO t (b) VALUES (?)", [b"\x00\x01\xff"])
+        reopened = PrivateDatabase(sys, "/data/app.db")
+        assert reopened.query("SELECT b FROM t").rows == [(b"\x00\x01\xff",)]
+
+    def test_autoincrement_continues_after_reopen(self):
+        sys = make_sys()
+        db = PrivateDatabase(sys, "/data/app.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t (v) VALUES ('a')")
+        reopened = PrivateDatabase(sys, "/data/app.db")
+        result = reopened.execute("INSERT INTO t (v) VALUES ('b')")
+        assert result.lastrowid == 2
+
+    def test_database_file_is_the_unit_of_state(self):
+        """The Maxoid-critical property: the whole DB rides in one file, so
+        Aufs copy-up forks it wholesale."""
+        sys = make_sys()
+        db = PrivateDatabase(sys, "/data/app.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        raw = sys.read_file("/data/app.db")
+        assert b"ddl" in raw

@@ -1,0 +1,103 @@
+"""System service tests: clipboard domains, Bluetooth/SMS guards
+(paper section 6.2, item 5)."""
+
+import pytest
+
+from repro.errors import DelegateNetworkDenied
+from repro import AndroidManifest
+
+A = "com.app.a"
+B = "com.app.b"
+
+
+@pytest.fixture
+def env(device):
+    class Nop:
+        def main(self, api, intent):
+            return None
+
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    return device
+
+
+class TestClipboard:
+    def test_initiators_share_main_clipboard(self, env):
+        env.spawn(A).clipboard_set("main text")
+        assert env.spawn(B).clipboard_get() == "main text"
+
+    def test_delegate_copy_does_not_pollute_main(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.clipboard_set("secret from Priv(A)")
+        assert env.spawn(B).clipboard_get() is None
+
+    def test_delegate_first_paste_forks_from_main(self, env):
+        env.spawn(A).clipboard_set("pre-confinement")
+        delegate = env.spawn(B, initiator=A)
+        assert delegate.clipboard_get() == "pre-confinement"
+
+    def test_delegate_clipboard_shared_within_domain(self, env):
+        first = env.spawn(B, initiator=A)
+        first.clipboard_set("domain text")
+        sibling = env.spawn(A, initiator=A)  # A itself
+        delegate_sibling = env.spawn(B, initiator=A)
+        assert delegate_sibling.clipboard_get() == "domain text"
+
+    def test_main_updates_after_fork_invisible_to_delegate(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.clipboard_get()  # forks the domain clipboard
+        env.spawn(A).clipboard_set("later main text")
+        assert delegate.clipboard_get() != "later main text"
+
+    def test_clear_vol_discards_delegate_clipboard(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.clipboard_set("volatile clip")
+        env.clear_volatile(A)
+        fresh = env.spawn(B, initiator=A)
+        assert fresh.clipboard_get() != "volatile clip"
+
+    def test_stock_clipboard_is_global(self, stock_device):
+        class Nop:
+            def main(self, api, intent):
+                return None
+
+        stock_device.install(AndroidManifest(package=A), Nop())
+        stock_device.install(AndroidManifest(package=B), Nop())
+        a = stock_device.spawn(A)
+        a.clipboard_set("everyone sees")
+        assert stock_device.spawn(B).clipboard_get() == "everyone sees"
+
+
+class TestBluetoothGuard:
+    def test_initiator_may_send(self, env):
+        env.spawn(A).bluetooth_send("headset", b"payload")
+        assert env.bluetooth.sent
+
+    def test_delegate_denied(self, env):
+        delegate = env.spawn(B, initiator=A)
+        with pytest.raises(DelegateNetworkDenied):
+            delegate.bluetooth_send("exfil-device", b"secret")
+        assert not env.bluetooth.leaked(b"secret")
+
+
+class TestSmsGuard:
+    def test_initiator_may_send(self, env):
+        env.spawn(A).send_sms("+1555", "hello")
+        assert env.telephony.messages
+
+    def test_delegate_denied(self, env):
+        delegate = env.spawn(B, initiator=A)
+        with pytest.raises(DelegateNetworkDenied):
+            delegate.send_sms("+1555", "the secret")
+        assert not env.telephony.leaked("the secret")
+
+    def test_stock_device_has_no_guard(self, stock_device):
+        class Nop:
+            def main(self, api, intent):
+                return None
+
+        stock_device.install(AndroidManifest(package=A), Nop())
+        stock_device.install(AndroidManifest(package=B), Nop())
+        # No delegates exist on stock; a normal app may send.
+        stock_device.spawn(B).send_sms("+1555", "ok")
+        assert stock_device.telephony.messages

@@ -1,0 +1,105 @@
+"""URI and intent tests, including Maxoid's volatile URIs and flag."""
+
+import pytest
+
+from repro.android.intents import Intent, IntentFilter
+from repro.android.uri import Uri
+
+
+class TestUri:
+    def test_parse(self):
+        uri = Uri.parse("content://user_dictionary/words/7")
+        assert uri.scheme == "content"
+        assert uri.authority == "user_dictionary"
+        assert uri.segments == ("words", "7")
+
+    def test_str_roundtrip(self):
+        text = "content://media/files/3"
+        assert str(Uri.parse(text)) == text
+
+    def test_parse_rejects_non_uri(self):
+        with pytest.raises(ValueError):
+            Uri.parse("not-a-uri")
+
+    def test_content_constructor(self):
+        assert str(Uri.content("downloads", "all_downloads")) == "content://downloads/all_downloads"
+
+    def test_file_uri(self):
+        uri = Uri.file("/storage/sdcard/doc.pdf")
+        assert uri.scheme == "file"
+        assert uri.path == "/storage/sdcard/doc.pdf"
+
+    def test_row_id(self):
+        assert Uri.parse("content://a/words/12").row_id == 12
+        assert Uri.parse("content://a/words").row_id is None
+
+    def test_with_appended_id(self):
+        uri = Uri.content("a", "words").with_appended_id(5)
+        assert uri.row_id == 5
+
+    def test_volatile_roundtrip(self):
+        normal = Uri.parse("content://user_dictionary/words/7")
+        volatile = normal.to_volatile()
+        assert volatile.is_volatile
+        assert str(volatile) == "content://user_dictionary/tmp/words/7"
+        assert volatile.to_normal() == normal
+
+    def test_to_volatile_idempotent(self):
+        uri = Uri.parse("content://a/words").to_volatile()
+        assert uri.to_volatile() == uri
+
+    def test_normal_uri_is_not_volatile(self):
+        assert not Uri.parse("content://a/words").is_volatile
+
+    def test_uri_is_hashable(self):
+        assert len({Uri.content("a", "x"), Uri.content("a", "x")}) == 1
+
+
+class TestIntent:
+    def test_flags(self):
+        intent = Intent(Intent.ACTION_VIEW)
+        assert not intent.wants_delegate
+        intent.add_flag(Intent.FLAG_MAXOID_DELEGATE)
+        assert intent.wants_delegate
+
+    def test_grant_flag(self):
+        intent = Intent(Intent.ACTION_VIEW, flags=Intent.FLAG_GRANT_READ_URI_PERMISSION)
+        assert intent.has_flag(Intent.FLAG_GRANT_READ_URI_PERMISSION)
+
+    def test_extras_copied(self):
+        extras = {"k": 1}
+        intent = Intent(Intent.ACTION_VIEW, extras=extras)
+        extras["k"] = 2
+        assert intent.extras["k"] == 1
+
+
+class TestIntentFilter:
+    def test_action_match(self):
+        f = IntentFilter(actions=[Intent.ACTION_VIEW])
+        assert f.matches(Intent(Intent.ACTION_VIEW))
+        assert not f.matches(Intent(Intent.ACTION_EDIT))
+
+    def test_no_actions_matches_any_action(self):
+        assert IntentFilter().matches(Intent("custom.ACTION"))
+
+    def test_scheme_required_when_intent_has_data(self):
+        f = IntentFilter(actions=[Intent.ACTION_VIEW])
+        with_data = Intent(Intent.ACTION_VIEW, data=Uri.content("auth", "x"))
+        assert not f.matches(with_data)
+        f_content = IntentFilter(actions=[Intent.ACTION_VIEW], schemes=["content"])
+        assert f_content.matches(with_data)
+
+    def test_scheme_filter_requires_data(self):
+        f = IntentFilter(schemes=["content"])
+        assert not f.matches(Intent(Intent.ACTION_VIEW))
+
+    def test_authority_filter(self):
+        f = IntentFilter(schemes=["content"], authorities=["media"])
+        assert f.matches(Intent(Intent.ACTION_VIEW, data=Uri.content("media", "files")))
+        assert not f.matches(Intent(Intent.ACTION_VIEW, data=Uri.content("other", "x")))
+
+    def test_mime_prefix(self):
+        f = IntentFilter(mime_prefixes=["video/"])
+        assert f.matches(Intent(Intent.ACTION_VIEW, mime_type="video/mp4"))
+        assert not f.matches(Intent(Intent.ACTION_VIEW, mime_type="image/png"))
+        assert not f.matches(Intent(Intent.ACTION_VIEW))

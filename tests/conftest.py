@@ -1,0 +1,43 @@
+"""Shared fixtures: booted devices and installed app sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Device
+from repro.apps import install_standard_apps
+
+
+@pytest.fixture
+def device():
+    """A Maxoid-enabled device."""
+    return Device(maxoid_enabled=True)
+
+
+@pytest.fixture
+def stock_device():
+    """The unmodified-Android baseline."""
+    return Device(maxoid_enabled=False)
+
+
+@pytest.fixture
+def loaded_device(device):
+    """Maxoid device with the standard app catalog installed and a small
+    fake internet."""
+    device.network.publish("dropbox.com", "report.pdf", b"%PDF dropbox report")
+    device.network.publish("drive.google.com", "notes.txt", b"drive notes body")
+    device.network.publish("example.com", "leaflet.pdf", b"%PDF public leaflet")
+    apps = install_standard_apps(device)
+    device.apps = apps
+    return device
+
+
+@pytest.fixture
+def loaded_stock_device(stock_device):
+    """Baseline device with the same apps and internet."""
+    stock_device.network.publish("dropbox.com", "report.pdf", b"%PDF dropbox report")
+    stock_device.network.publish("drive.google.com", "notes.txt", b"drive notes body")
+    stock_device.network.publish("example.com", "leaflet.pdf", b"%PDF public leaflet")
+    apps = install_standard_apps(stock_device)
+    stock_device.apps = apps
+    return stock_device

@@ -1,0 +1,131 @@
+"""Property-based tests for the COW proxy.
+
+The central invariant (paper 3.1/3.3): for any interleaving of public and
+per-initiator operations,
+
+- each initiator's view equals a reference model (public rows overridden
+  by that initiator's volatile writes, minus its whiteouts);
+- the public view equals the public-only model (volatile state never
+  leaks into Pub(all));
+- initiators' volatile states never bleed into each other.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cow import CowProxy
+
+INITIATORS = ["com.app.a", "com.app.b"]
+
+words = st.text(alphabet="abcdef", min_size=1, max_size=6)
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("pub_insert"), st.just(0), words),
+                st.tuples(st.just("vol_insert"), st.sampled_from([0, 1]), words),
+                st.tuples(st.just("vol_update"), st.sampled_from([0, 1]), words),
+                st.tuples(st.just("vol_delete"), st.sampled_from([0, 1]), words),
+                st.tuples(st.just("pub_update"), st.just(0), words),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return ops
+
+
+class TestCowProxyModel:
+    @given(ops=operations())
+    @settings(max_examples=40, deadline=None)
+    def test_views_match_reference_model(self, ops):
+        proxy = CowProxy()
+        proxy.create_table("CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT)")
+        public = {}          # id -> value (the Pub(all) model)
+        volatile = {initiator: {} for initiator in INITIATORS}  # id -> value
+        whiteouts = {initiator: set() for initiator in INITIATORS}
+        next_public = [1]
+        next_volatile = {initiator: [10_000_001] for initiator in INITIATORS}
+
+        def visible(initiator):
+            view = {}
+            for row_id, value in public.items():
+                touched = row_id in volatile[initiator] or row_id in whiteouts[initiator]
+                if not touched:
+                    view[row_id] = value
+            view.update(volatile[initiator])
+            return view
+
+        for op, who, value in ops:
+            initiator = INITIATORS[who]
+            if op == "pub_insert":
+                row_id = proxy.insert("t", None, {"v": value})
+                public[row_id] = value
+                next_public[0] = row_id + 1
+            elif op == "pub_update":
+                if not public:
+                    continue
+                target = sorted(public)[0]
+                proxy.update("t", None, {"v": value}, "_id = ?", [target])
+                public[target] = value
+            elif op == "vol_insert":
+                row_id = proxy.insert("t", initiator, {"v": value})
+                volatile[initiator][row_id] = value
+                next_volatile[initiator][0] = row_id + 1
+            elif op == "vol_update":
+                view = visible(initiator)
+                if not view:
+                    continue
+                target = sorted(view)[0]
+                proxy.update("t", initiator, {"v": value}, "_id = ?", [target])
+                volatile[initiator][target] = value
+                whiteouts[initiator].discard(target)
+            else:  # vol_delete
+                view = visible(initiator)
+                if not view:
+                    continue
+                target = sorted(view)[-1]
+                proxy.delete("t", initiator, "_id = ?", [target])
+                volatile[initiator].pop(target, None)
+                whiteouts[initiator].add(target)
+
+        # Public view == public model (S1/S2: volatile never leaks out).
+        got_public = dict(proxy.query("t", None).rows)
+        assert got_public == public
+        # Each initiator's view == its model.
+        for initiator in INITIATORS:
+            got = dict(proxy.query("t", initiator).rows)
+            assert got == visible(initiator), (initiator, ops)
+
+    @given(ops=operations())
+    @settings(max_examples=25, deadline=None)
+    def test_discard_restores_public_view(self, ops):
+        proxy = CowProxy()
+        proxy.create_table("CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT)")
+        for op, who, value in ops:
+            initiator = INITIATORS[who]
+            try:
+                if op == "pub_insert":
+                    proxy.insert("t", None, {"v": value})
+                elif op == "vol_insert":
+                    proxy.insert("t", initiator, {"v": value})
+                elif op == "vol_update":
+                    proxy.update("t", initiator, {"v": value}, "_id = 1")
+                elif op == "vol_delete":
+                    proxy.delete("t", initiator, "_id = 1")
+                else:
+                    proxy.update("t", None, {"v": value}, "_id = 1")
+            except Exception:
+                continue
+        public_before = dict(proxy.query("t", None).rows)
+        for initiator in INITIATORS:
+            proxy.discard_all_volatile(initiator)
+        # Discarding volatile state never changes Pub(all)...
+        assert dict(proxy.query("t", None).rows) == public_before
+        # ...and every initiator now sees exactly the public view.
+        for initiator in INITIATORS:
+            assert dict(proxy.query("t", initiator).rows) == public_before

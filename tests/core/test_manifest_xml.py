@@ -1,0 +1,102 @@
+"""XML Maxoid-manifest tests (paper 6.1: "an XML file called the Maxoid
+manifest")."""
+
+import pytest
+
+from repro.android.intents import Intent
+from repro.core.manifest import MaxoidManifest
+
+DROPBOX_XML = """
+<maxoid>
+  <private-ext-dir path="Dropbox"/>
+  <private-ext-dir path="data/sync"/>
+  <private-intents mode="whitelist">
+    <filter action="android.intent.action.VIEW"/>
+    <filter action="android.intent.action.EDIT" scheme="file,content" priority="2"/>
+  </private-intents>
+</maxoid>
+"""
+
+
+class TestFromXml:
+    def test_parses_private_dirs(self):
+        manifest = MaxoidManifest.from_xml(DROPBOX_XML)
+        assert manifest.private_ext_dirs == ["Dropbox", "data/sync"]
+
+    def test_parses_filters(self):
+        manifest = MaxoidManifest.from_xml(DROPBOX_XML)
+        assert len(manifest.private_filters) == 2
+        second = manifest.private_filters[1]
+        assert second.actions == [Intent.ACTION_EDIT]
+        assert second.schemes == ["file", "content"]
+        assert second.priority == 2
+
+    def test_filter_semantics_after_parse(self):
+        manifest = MaxoidManifest.from_xml(DROPBOX_XML)
+        assert manifest.intent_is_private(Intent(Intent.ACTION_VIEW))
+        assert not manifest.intent_is_private(Intent(Intent.ACTION_SEND))
+
+    def test_blacklist_mode(self):
+        manifest = MaxoidManifest.from_xml(
+            "<maxoid><private-intents mode='blacklist'/></maxoid>"
+        )
+        assert manifest.filter_mode == "blacklist"
+        assert manifest.intent_is_private(Intent("anything.at.all"))
+
+    def test_empty_manifest(self):
+        manifest = MaxoidManifest.from_xml("<maxoid/>")
+        assert manifest.private_ext_dirs == []
+        assert manifest.private_filters == []
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            MaxoidManifest.from_xml("<manifest/>")
+
+    def test_malformed_xml_rejected(self):
+        import xml.etree.ElementTree as ElementTree
+
+        with pytest.raises(ElementTree.ParseError):
+            MaxoidManifest.from_xml("<maxoid>")
+
+
+class TestRoundTrip:
+    def test_xml_round_trip(self):
+        original = MaxoidManifest.from_xml(DROPBOX_XML)
+        reparsed = MaxoidManifest.from_xml(original.to_xml())
+        assert reparsed.private_ext_dirs == original.private_ext_dirs
+        assert reparsed.filter_mode == original.filter_mode
+        assert len(reparsed.private_filters) == len(original.private_filters)
+        assert reparsed.private_filters[1].schemes == ["file", "content"]
+
+    def test_default_manifest_serializes_minimal(self):
+        assert MaxoidManifest().to_xml() == "<maxoid />"
+
+    def test_installed_via_xml_manifest_confines(self, device):
+        """End to end: an app installed with an XML-declared manifest gets
+        its delegates without any code changes."""
+        from repro import AndroidManifest
+
+        class Nop:
+            def main(self, api, intent):
+                return None
+
+        xml = (
+            "<maxoid><private-intents mode='whitelist'>"
+            "<filter action='android.intent.action.VIEW'/>"
+            "</private-intents></maxoid>"
+        )
+        device.install(
+            AndroidManifest(package="com.xml.app", maxoid=MaxoidManifest.from_xml(xml)),
+            Nop(),
+        )
+        from repro.android.intents import IntentFilter
+
+        device.install(
+            AndroidManifest(
+                package="com.xml.viewer", handles=[IntentFilter(actions=[Intent.ACTION_VIEW])]
+            ),
+            Nop(),
+        )
+        app = device.spawn("com.xml.app")
+        invocation = device.am.start_activity(app.process, Intent(Intent.ACTION_VIEW))
+        assert invocation.process.context.initiator == "com.xml.app"

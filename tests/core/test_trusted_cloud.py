@@ -1,0 +1,88 @@
+"""The trusted-cloud extension (paper section 2.4's πBox sketch).
+
+By default delegates lose the network entirely. With the extension, a
+delegate may reach its own app's registered backend — and everything it
+sends or fetches there is confined to its initiator's domain, server-side.
+"""
+
+import pytest
+
+from repro.errors import FileNotFound, NetworkUnreachable
+from repro import AndroidManifest
+
+A = "com.cloud.initiator"
+B = "com.cloud.helper"
+BACKEND = "api.helper.example"
+
+
+@pytest.fixture
+def env(device):
+    class Nop:
+        def main(self, api, intent):
+            return None
+
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    device.network.add_host(BACKEND)
+    return device
+
+
+class TestDefaultBehaviour:
+    def test_without_extension_delegates_have_no_network(self, env):
+        delegate = env.spawn(B, initiator=A)
+        with pytest.raises(NetworkUnreachable):
+            delegate.connect(BACKEND)
+
+
+class TestTrustedCloud:
+    def test_delegate_reaches_own_backend_only(self, env):
+        cloud = env.network.enable_trusted_cloud()
+        cloud.register_backend(B, BACKEND)
+        delegate = env.spawn(B, initiator=A)
+        socket = delegate.connect(BACKEND)
+        assert socket is not None
+        # Any other host remains unreachable.
+        env.network.add_host("other.example")
+        with pytest.raises(NetworkUnreachable):
+            delegate.connect("other.example")
+
+    def test_backend_registration_is_per_app(self, env):
+        cloud = env.network.enable_trusted_cloud()
+        cloud.register_backend("com.unrelated.app", BACKEND)
+        delegate = env.spawn(B, initiator=A)
+        with pytest.raises(NetworkUnreachable):
+            delegate.connect(BACKEND)
+
+    def test_sends_are_domain_confined_not_public_egress(self, env):
+        cloud = env.network.enable_trusted_cloud()
+        cloud.register_backend(B, BACKEND)
+        delegate = env.spawn(B, initiator=A)
+        socket = delegate.connect(BACKEND)
+        socket.send(b"SECRET-FROM-PRIV-A")
+        # Not in the public leak-audit surface...
+        assert not env.network.leaked_to_network(b"SECRET-FROM-PRIV-A")
+        # ...but recorded in the (host, domain) store.
+        assert cloud.domain_received(BACKEND, A, b"SECRET-FROM-PRIV-A")
+
+    def test_domains_are_isolated_server_side(self, env):
+        class Nop:
+            def main(self, api, intent):
+                return None
+
+        env.install(AndroidManifest(package="com.cloud.other"), Nop())
+        cloud = env.network.enable_trusted_cloud()
+        cloud.register_backend(B, BACKEND)
+        for_a = env.spawn(B, initiator=A)
+        for_a.connect(BACKEND).put("draft.txt", b"domain-A data")
+        for_other = env.spawn(B, initiator="com.cloud.other")
+        with pytest.raises(FileNotFound):
+            for_other.connect(BACKEND).fetch("draft.txt")
+        # The same domain reads its own data back.
+        again_for_a = env.spawn(B, initiator=A)
+        assert again_for_a.connect(BACKEND).fetch("draft.txt") == b"domain-A data"
+
+    def test_initiators_unaffected_by_extension(self, env):
+        env.network.enable_trusted_cloud()
+        env.network.publish(BACKEND, "page", b"hello")
+        api = env.spawn(B)  # running normally
+        assert api.connect(BACKEND).fetch("page") == b"hello"

@@ -1,0 +1,163 @@
+"""Mount plans (Table 2) and the branch manager's lifecycle rules."""
+
+import pytest
+
+from repro.android.storage import DATA_ROOT, EXTDIR
+from repro.core.branches import BranchManager
+from repro.core.manifest import MaxoidManifest
+from repro.core.views import plan_delegate_mounts, plan_initiator_mounts
+from repro.kernel.mounts import MountNamespace
+from repro.kernel.vfs import Filesystem, ROOT_CRED
+
+A = "com.example.a"
+B = "com.example.b"
+
+A_MANIFEST = MaxoidManifest(private_ext_dirs=["data/A"])
+B_MANIFEST = MaxoidManifest(private_ext_dirs=["data/B"])
+
+
+def plans_by_mountpoint(plans):
+    return {p.mountpoint: p for p in plans}
+
+
+class TestInitiatorPlan:
+    def test_single_branch_everywhere(self):
+        plans = plan_initiator_mounts(A, A_MANIFEST)
+        for plan in plans:
+            assert len(plan.branches) == 1, plan.mountpoint
+
+    def test_table2_initiator_rows(self):
+        table = plans_by_mountpoint(plan_initiator_mounts(A, A_MANIFEST))
+        # EXTDIR: pub (rw)
+        assert table[EXTDIR].branches[0].kind == "pub"
+        assert table[EXTDIR].branches[0].writable
+        # EXTDIR/data/A: A/data/A (rw)
+        private = table[f"{EXTDIR}/data/A"].branches[0]
+        assert private.kind == "extpriv"
+        assert private.writable
+        # EXTDIR/tmp: A/tmp (rw)
+        tmp = table[f"{EXTDIR}/tmp"].branches[0]
+        assert tmp.kind == "vol_ext"
+        assert tmp.writable
+
+    def test_no_private_dirs_without_manifest(self):
+        plans = plan_initiator_mounts(A, None)
+        mountpoints = [p.mountpoint for p in plans]
+        assert f"{EXTDIR}/data/A" not in mountpoints
+
+
+class TestDelegatePlan:
+    def test_table2_delegate_rows(self):
+        table = plans_by_mountpoint(plan_delegate_mounts(B, A, B_MANIFEST, A_MANIFEST))
+        # EXTDIR: A/tmp (rw), pub
+        extdir = table[EXTDIR].branches
+        assert [b.kind for b in extdir] == ["vol_ext", "pub"]
+        assert [b.writable for b in extdir] == [True, False]
+        # EXTDIR/data/A: A/tmp/data/A (rw), A/data/A
+        init_priv = table[f"{EXTDIR}/data/A"].branches
+        assert [b.kind for b in init_priv] == ["vol_ext", "extpriv"]
+        assert [b.writable for b in init_priv] == [True, False]
+        # EXTDIR/data/B: B-A/data/B (rw), B/data/B
+        own_priv = table[f"{EXTDIR}/data/B"].branches
+        assert [b.kind for b in own_priv] == ["deleg_extpriv", "extpriv"]
+        assert [b.writable for b in own_priv] == [True, False]
+
+    def test_npriv_mount(self):
+        table = plans_by_mountpoint(plan_delegate_mounts(B, A, None, None))
+        npriv = table[f"{DATA_ROOT}/{B}"].branches
+        assert [b.kind for b in npriv] == ["deleg_int", "system_priv"]
+        assert [b.writable for b in npriv] == [True, False]
+
+    def test_initiator_internal_exposed(self):
+        table = plans_by_mountpoint(plan_delegate_mounts(B, A, None, None))
+        exposed = table[f"{DATA_ROOT}/{A}"].branches
+        assert [b.kind for b in exposed] == ["vol_int", "system_priv"]
+
+    def test_ppriv_mount_single_branch(self):
+        table = plans_by_mountpoint(plan_delegate_mounts(B, A, None, None))
+        ppriv = table[f"{DATA_ROOT}/ppriv/{B}"].branches
+        assert len(ppriv) == 1
+        assert ppriv[0].kind == "ppriv"
+        assert ppriv[0].writable
+
+    def test_labels_use_paper_notation(self):
+        table = plans_by_mountpoint(plan_delegate_mounts(B, A, B_MANIFEST, A_MANIFEST))
+        assert table[EXTDIR].describe() == f"{EXTDIR}: a/tmp(rw), pub(ro)"
+
+
+class TestBranchManager:
+    @pytest.fixture
+    def manager(self):
+        system = Filesystem(label="system")
+        system.mkdir(f"{DATA_ROOT}/{A}", ROOT_CRED, parents=True)
+        system.mkdir(f"{DATA_ROOT}/{B}", ROOT_CRED, parents=True)
+        return BranchManager(system)
+
+    def test_materialize_mounts_all_plans(self, manager):
+        base = MountNamespace(manager.system_fs)
+        plans = plan_delegate_mounts(B, A, B_MANIFEST, A_MANIFEST)
+        namespace = manager.materialize(base, plans)
+        for plan in plans:
+            assert plan.mountpoint in namespace.mount_points()
+        assert manager.mounts_built == len(plans)
+
+    def test_priv_version_changes_on_write(self, manager):
+        before = manager.priv_version(B)
+        manager.system_fs.write_file(f"{DATA_ROOT}/{B}/f", b"x", ROOT_CRED)
+        assert manager.priv_version(B) > before
+
+    def test_refork_discards_on_divergence(self, manager):
+        assert manager.prepare_delegate_priv(B, A) is False  # first fork
+        # Delegate branch gets some state.
+        manager.deleg_fs.write_file(
+            "/com_example_b@com_example_a/int/state", b"delegate data", ROOT_CRED
+        )
+        # No divergence: state kept.
+        assert manager.prepare_delegate_priv(B, A) is False
+        assert manager.deleg_fs.exists(
+            "/com_example_b@com_example_a/int/state", ROOT_CRED
+        )
+        # Priv(B) diverges: state discarded.
+        manager.system_fs.write_file(f"{DATA_ROOT}/{B}/new", b"user update", ROOT_CRED)
+        assert manager.prepare_delegate_priv(B, A) is True
+        assert not manager.deleg_fs.exists(
+            "/com_example_b@com_example_a/int/state", ROOT_CRED
+        )
+
+    def test_consecutive_delegate_runs_keep_state(self, manager):
+        """Running B^C in between does not discard nPriv(B^A) (3.2)."""
+        manager.prepare_delegate_priv(B, A)
+        manager.deleg_fs.write_file(
+            "/com_example_b@com_example_a/int/keep", b"x", ROOT_CRED
+        )
+        manager.prepare_delegate_priv(B, "com.example.c")
+        assert manager.prepare_delegate_priv(B, A) is False
+        assert manager.deleg_fs.exists("/com_example_b@com_example_a/int/keep", ROOT_CRED)
+
+    def test_volatile_listing_and_clearing(self, manager):
+        manager.vol_fs.mkdir("/com_example_a/ext/Download", ROOT_CRED, parents=True)
+        manager.vol_fs.write_file("/com_example_a/ext/Download/f", b"x", ROOT_CRED)
+        manager.vol_fs.mkdir("/com_example_a/int", ROOT_CRED, parents=True)
+        manager.vol_fs.write_file("/com_example_a/int/g", b"y", ROOT_CRED)
+        assert manager.list_volatile_files(A) == ["/ext/Download/f", "/int/g"]
+        assert manager.clear_volatile(A) == 2
+        assert manager.list_volatile_files(A) == []
+
+    def test_clear_delegate_priv(self, manager):
+        manager.prepare_delegate_priv(B, A)
+        manager.ppriv_fs.mkdir("/com_example_b@com_example_a", ROOT_CRED, parents=True)
+        manager.ppriv_fs.write_file(
+            "/com_example_b@com_example_a/recent.db", b"x", ROOT_CRED
+        )
+        cleared = manager.clear_delegate_priv(A)
+        assert cleared == 2  # deleg branch + ppriv branch
+        assert not manager.ppriv_fs.exists("/com_example_b@com_example_a", ROOT_CRED)
+
+    def test_clear_delegate_priv_other_initiator_untouched(self, manager):
+        manager.prepare_delegate_priv(B, A)
+        manager.prepare_delegate_priv(B, "com.example.c")
+        manager.deleg_fs.write_file(
+            "/com_example_b@com_example_c/int/keep", b"x", ROOT_CRED
+        )
+        manager.clear_delegate_priv(A)
+        assert manager.deleg_fs.exists("/com_example_b@com_example_c/int/keep", ROOT_CRED)

@@ -1,0 +1,140 @@
+"""Fault injection: dead processes, vanished state, read-only stores,
+mid-session clears — the system must fail closed, never open."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFound,
+    NoSuchProcess,
+    ReadOnlyFilesystem,
+)
+from repro.android.content.downloads import STATUS_ERROR_NETWORK
+from repro.android.content.provider import ContentValues
+from repro.android.intents import Intent
+from repro.android.uri import Uri
+from repro.kernel.aufs import AufsMount, Branch
+from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
+from repro import AndroidManifest
+
+A = "com.fault.initiator"
+B = "com.fault.helper"
+
+
+class Nop:
+    def main(self, api, intent):
+        return None
+
+
+@pytest.fixture
+def env(device):
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    return device
+
+
+class TestDeadProcesses:
+    def test_killed_delegate_cannot_touch_state(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.process.kill()
+        with pytest.raises(NoSuchProcess):
+            delegate.sys.read_file("/storage/sdcard")
+        with pytest.raises(NoSuchProcess):
+            delegate.write_external("x.txt", b"posthumous")
+
+    def test_kill_on_conflict_invalidates_old_api(self, env):
+        old = env.spawn(B)
+        a = env.spawn(A)
+        env.am.register_handler(B, lambda process, intent: "ok")
+        env.am.start_activity(
+            a.process, Intent(Intent.ACTION_VIEW, component=B, flags=Intent.FLAG_MAXOID_DELEGATE)
+        )
+        with pytest.raises(NoSuchProcess):
+            old.sys.exists("/")
+
+    def test_clear_priv_kills_running_delegates(self, env):
+        delegate = env.spawn(B, initiator=A)
+        env.clear_delegate_priv(A)
+        with pytest.raises(NoSuchProcess):
+            delegate.write_internal("x", b"y")
+
+
+class TestMidSessionClears:
+    def test_delegate_writes_after_clear_vol_recreate_volatile(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.write_external("one.txt", b"1")
+        env.clear_volatile(A)
+        # The still-running delegate keeps working; its new writes land in
+        # a fresh Vol(A).
+        delegate.write_external("two.txt", b"2")
+        a = env.spawn(A)
+        assert a.volatile.list_files() == ["/storage/sdcard/tmp/two.txt"]
+
+    def test_clear_vol_between_cow_and_read(self, env):
+        a = env.spawn(A)
+        a.write_external("doc.txt", b"public")
+        delegate = env.spawn(B, initiator=A)
+        delegate.sys.write_file("/storage/sdcard/doc.txt", b"volatile version")
+        env.clear_volatile(A)
+        # The COW copy is gone; the delegate falls back to the public file.
+        assert delegate.sys.read_file("/storage/sdcard/doc.txt") == b"public"
+
+    def test_commit_of_vanished_volatile_file_raises(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.write_external("gone.txt", b"x")
+        a = env.spawn(A)
+        env.clear_volatile(A)
+        with pytest.raises(FileNotFound):
+            a.volatile.commit("/storage/sdcard/tmp/gone.txt")
+
+
+class TestReadOnlyStores:
+    def test_copy_up_onto_read_only_fs_propagates_erofs(self):
+        lower = Filesystem(label="lower")
+        lower.write_file("/f", b"data", ROOT_CRED, mode=0o666)
+        sealed_upper = Filesystem(label="sealed", read_only=False)
+        union = AufsMount(
+            [Branch(sealed_upper, "/", writable=True), Branch(lower, "/", writable=False)],
+            always_allow_read=True,
+        )
+        sealed_upper.read_only = True  # the store fails after mount
+        with pytest.raises(ReadOnlyFilesystem):
+            union.append_file("/f", b"x", Credentials(uid=1001))
+        # And the lower branch is untouched by the failed copy-up attempt.
+        assert lower.read_file("/f", ROOT_CRED) == b"data"
+
+
+class TestProviderFaults:
+    def test_download_of_unknown_host_fails_closed(self, env):
+        api = env.spawn(A)
+        download_id = api.enqueue_download("https://no.such.host/r", "r")
+        env.run_downloads()
+        assert env.download_manager.status(api.process, download_id) == STATUS_ERROR_NETWORK
+
+    def test_open_file_for_failed_download_raises(self, env):
+        api = env.spawn(A)
+        download_id = api.enqueue_download("https://no.such.host/r", "r")
+        env.run_downloads()
+        with pytest.raises(FileNotFound):
+            env.download_manager.open_downloaded_file(api.process, download_id)
+
+    def test_run_downloads_is_idempotent(self, env):
+        env.network.publish("h.example", "f", b"x")
+        api = env.spawn(A)
+        api.enqueue_download("https://h.example/f", "f")
+        assert env.run_downloads() == 1
+        assert env.run_downloads() == 0  # nothing pending twice
+
+    def test_media_scan_of_missing_file_records_zero_size(self, env):
+        api = env.spawn(A)
+        uri = api.scan_media("/storage/sdcard/ghost.jpg")
+        row = api.query(Uri.content("media", "files"), projection=["size"]).rows[0]
+        assert row == (0,)
+
+    def test_provider_insert_after_clear_starts_fresh_delta(self, env):
+        words = Uri.content("user_dictionary", "words")
+        delegate = env.spawn(B, initiator=A)
+        delegate.insert(words, ContentValues({"word": "first"}))
+        env.clear_volatile(A)
+        delegate.insert(words, ContentValues({"word": "second"}))
+        visible = [r[0] for r in delegate.query(words, projection=["word"]).rows]
+        assert visible == ["second"]

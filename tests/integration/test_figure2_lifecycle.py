@@ -1,0 +1,108 @@
+"""Figure 2: normal and persistent private state evolving over time.
+
+The figure's timeline: B runs normally (v0 -> v1 of Priv(B)), B^A forks
+nPriv at v1 and accretes pPriv entries; B runs normally again and bumps
+Priv(B) to v2; the next B^A discards the stale nPriv fork (re-fork from
+v2) but keeps pPriv; B^C meanwhile gets its own isolated pPriv.
+"""
+
+import pytest
+
+from repro import AndroidManifest
+
+A = "com.initiator.one"
+B = "com.viewer.app"
+C = "com.initiator.two"
+
+
+@pytest.fixture
+def env(device):
+    class Nop:
+        def main(self, api, intent):
+            return None
+
+    for package in (A, B, C):
+        device.install(AndroidManifest(package=package), Nop())
+    return device
+
+
+def npriv_note(api):
+    return api.prefs.get("note")
+
+
+def write_npriv_note(api, text):
+    api.prefs.put("note", text)
+
+
+def ppriv_list(api):
+    db = api.ppriv.database("recent")
+    if "recent" not in db.table_names():
+        return []
+    return [r[0] for r in db.query("SELECT name FROM recent ORDER BY id").rows]
+
+
+def ppriv_add(api, name):
+    db = api.ppriv.database("recent")
+    if "recent" not in db.table_names():
+        db.execute("CREATE TABLE recent (id INTEGER PRIMARY KEY, name TEXT)")
+    db.execute("INSERT INTO recent (name) VALUES (?)", [name])
+
+
+class TestFigure2Timeline:
+    def test_full_timeline(self, env):
+        # t0: B runs normally and saves a preference (Priv(B) = v1).
+        b_normal = env.spawn(B)
+        write_npriv_note(b_normal, "v1")
+        # t1: B^A starts; nPriv forked from v1, and it adds private +
+        # persistent state.
+        ba = env.spawn(B, initiator=A)
+        assert npriv_note(ba) == "v1"  # U1: initial state available
+        write_npriv_note(ba, "delegate-edit")
+        ppriv_add(ba, "attachment-1.pdf")
+        # t2: B runs normally again; sees v1, not the delegate's edit (S4),
+        # and bumps Priv(B) to v2.
+        b_again = env.spawn(B)
+        assert npriv_note(b_again) == "v1"
+        write_npriv_note(b_again, "v2")
+        # t3: B^A again: nPriv diverged so the old fork is discarded
+        # (sees v2, not "delegate-edit"), but pPriv persists.
+        ba2 = env.spawn(B, initiator=A)
+        assert npriv_note(ba2) == "v2"
+        assert ppriv_list(ba2) == ["attachment-1.pdf"]
+        # t4: B^C is a different pair: fresh pPriv.
+        bc = env.spawn(B, initiator=C)
+        assert ppriv_list(bc) == []
+        ppriv_add(bc, "c-document.pdf")
+        # t5: pPriv(B^A) and pPriv(B^C) remain isolated.
+        ba3 = env.spawn(B, initiator=A)
+        assert ppriv_list(ba3) == ["attachment-1.pdf"]
+
+    def test_npriv_kept_across_consecutive_delegate_runs(self, env):
+        ba = env.spawn(B, initiator=A)
+        write_npriv_note(ba, "delegate-state")
+        # No normal run of B in between: the fork is kept.
+        ba2 = env.spawn(B, initiator=A)
+        assert npriv_note(ba2) == "delegate-state"
+
+    def test_npriv_kept_across_other_initiators_runs(self, env):
+        """Invoking B^C between two B^A runs does not discard nPriv(B^A)
+        (only updates to Priv(B) itself do, section 3.2)."""
+        ba = env.spawn(B, initiator=A)
+        write_npriv_note(ba, "a-state")
+        bc = env.spawn(B, initiator=C)
+        write_npriv_note(bc, "c-state")
+        ba2 = env.spawn(B, initiator=A)
+        assert npriv_note(ba2) == "a-state"
+
+    def test_ppriv_unavailable_when_running_normally(self, env):
+        normal = env.spawn(B)
+        assert not normal.ppriv.available
+        delegate = env.spawn(B, initiator=A)
+        assert delegate.ppriv.available
+
+    def test_initiator_can_clear_ppriv(self, env):
+        ba = env.spawn(B, initiator=A)
+        ppriv_add(ba, "to-be-cleared.pdf")
+        env.clear_delegate_priv(A)
+        ba2 = env.spawn(B, initiator=A)
+        assert ppriv_list(ba2) == []

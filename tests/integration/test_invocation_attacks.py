@@ -1,0 +1,139 @@
+"""Adversarial invocation scenarios (paper section 3.4).
+
+The subtle attacks the IPC rules must stop: stealing a delegate's results,
+laundering data through siblings and broadcasts, nested delegation.
+"""
+
+import pytest
+
+from repro.errors import IpcDenied, NestedDelegationError
+from repro.android.intents import Intent, IntentFilter
+from repro import AndroidManifest
+
+A = "com.atk.victim"       # initiator with secrets
+B = "com.atk.helper"       # delegate
+C = "com.atk.attacker"     # malicious third app
+
+
+class Recorder:
+    def __init__(self):
+        self.runs = []
+
+    def main(self, api, intent):
+        self.runs.append(str(api.process.context))
+        return intent.extras.get("give_back")
+
+
+@pytest.fixture
+def env(device):
+    device.apps_by_pkg = {}
+    for package in (A, B, C):
+        app = Recorder()
+        device.apps_by_pkg[package] = app
+        device.install(
+            AndroidManifest(package=package, handles=[IntentFilter()]), app
+        )
+    return device
+
+
+class TestInvocationStealing:
+    def test_attacker_cannot_invoke_victims_delegate(self, env):
+        """C invoking B yields B or B^C — never B^A (S1): the result of the
+        invocation can't carry Priv(A)."""
+        # A delegate of A exists with access to Priv(A).
+        running = env.spawn(B, initiator=A)
+        attacker = env.spawn(C)
+        invocation = env.am.start_activity(
+            attacker.process, Intent(Intent.ACTION_VIEW, component=B)
+        )
+        assert invocation.process.context.initiator is None
+        # And the old B^A instance was killed, not reused.
+        assert not running.process.alive
+
+    def test_attacker_delegate_flag_confines_target_to_attacker(self, env):
+        attacker = env.spawn(C)
+        intent = Intent(Intent.ACTION_VIEW, component=B, flags=Intent.FLAG_MAXOID_DELEGATE)
+        invocation = env.am.start_activity(attacker.process, intent)
+        # B runs on behalf of C — it can read Priv(C), not Priv(A).
+        assert invocation.process.context.initiator == C
+
+
+class TestLaundering:
+    def test_delegate_chain_stays_in_domain(self, env):
+        """B^A invoking C invoking (implicitly) anything: everyone ends up
+        ^A — the taint follows the chain."""
+        delegate = env.spawn(B, initiator=A)
+        first = env.am.start_activity(
+            delegate.process, Intent(Intent.ACTION_VIEW, component=C)
+        )
+        assert first.process.context.initiator == A
+        second = env.am.start_activity(
+            first.process, Intent(Intent.ACTION_VIEW, component=B)
+        )
+        assert second.process.context.initiator == A
+
+    def test_nested_delegation_refused_even_deep_in_chain(self, env):
+        delegate = env.spawn(B, initiator=A)
+        hop = env.am.start_activity(
+            delegate.process, Intent(Intent.ACTION_VIEW, component=C)
+        ).process
+        with pytest.raises(NestedDelegationError):
+            env.am.start_activity(
+                hop, Intent(Intent.ACTION_VIEW, component=B, flags=Intent.FLAG_MAXOID_DELEGATE)
+            )
+
+    def test_direct_binder_to_outsider_denied(self, env):
+        attacker_instance = env.spawn(C)
+        endpoint = f"app:{attacker_instance.process.pid}"
+        env.binder.register(endpoint, lambda txn: "stolen", owner=C)
+        if env.ipc_guard is not None:
+            env.ipc_guard.register_instance(endpoint, attacker_instance.process.context)
+        delegate = env.spawn(B, initiator=A)
+        with pytest.raises(IpcDenied):
+            env.binder.transact(delegate.process, endpoint, "exfil", b"Priv(A) data")
+
+    def test_direct_binder_to_initiator_allowed(self, env):
+        a_instance = env.spawn(A)
+        endpoint = f"app:{a_instance.process.pid}"
+        received = []
+        env.binder.register(endpoint, lambda txn: received.append(txn.payload), owner=A)
+        env.ipc_guard.register_instance(endpoint, a_instance.process.context)
+        delegate = env.spawn(B, initiator=A)
+        env.binder.transact(delegate.process, endpoint, "result", b"the answer")
+        assert received == [b"the answer"]
+
+    def test_broadcast_cannot_reach_attacker(self, env):
+        heard = []
+        attacker = env.spawn(C)
+        env.am.register_receiver(
+            attacker.process, IntentFilter(actions=["leak"]), lambda p, i: heard.append(i)
+        )
+        delegate = env.spawn(B, initiator=A)
+        delivered = env.am.send_broadcast(
+            delegate.process, Intent("leak", extras={"secret": "Priv(A)"})
+        )
+        assert delivered == 0
+        assert heard == []
+
+
+class TestStockAndroidContrast:
+    def test_all_attacks_succeed_on_stock(self, stock_device):
+        """On stock Android the same IPC is unrestricted."""
+        apps = {}
+        for package in (A, B, C):
+            apps[package] = Recorder()
+            stock_device.install(
+                AndroidManifest(package=package, handles=[IntentFilter()]), apps[package]
+            )
+        helper = stock_device.spawn(B)
+        endpoint = f"app:{helper.process.pid}"
+        received = []
+        stock_device.binder.register(endpoint, lambda txn: received.append(txn.payload), owner=B)
+        attacker = stock_device.spawn(C)
+        stock_device.binder.transact(attacker.process, endpoint, "x", b"anything")
+        assert received == [b"anything"]
+        heard = []
+        stock_device.am.register_receiver(
+            attacker.process, IntentFilter(actions=["leak"]), lambda p, i: heard.append(i)
+        )
+        assert stock_device.am.send_broadcast(helper.process, Intent("leak")) == 1

@@ -1,0 +1,98 @@
+"""Scale tests: many initiators and delegates at once — the per-domain
+isolation must hold pairwise across the whole device."""
+
+import pytest
+
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro import AndroidManifest
+
+WORDS = Uri.content("user_dictionary", "words")
+
+
+class Nop:
+    def main(self, api, intent):
+        return None
+
+
+@pytest.fixture
+def crowd(device):
+    initiators = [f"com.scale.init{i}" for i in range(6)]
+    helpers = [f"com.scale.helper{i}" for i in range(3)]
+    for package in initiators + helpers:
+        device.install(AndroidManifest(package=package), Nop())
+    device.crowd = (initiators, helpers)
+    return device
+
+
+class TestManyDomains:
+    def test_file_vol_isolated_pairwise(self, crowd):
+        initiators, helpers = crowd.crowd
+        for index, initiator in enumerate(initiators):
+            helper = helpers[index % len(helpers)]
+            delegate = crowd.spawn(helper, initiator=initiator)
+            delegate.write_external(f"out/{index}.txt", f"vol-{index}".encode())
+        # Each initiator sees exactly its own volatile file.
+        for index, initiator in enumerate(initiators):
+            api = crowd.spawn(initiator)
+            files = api.volatile.list_files()
+            assert files == [f"/storage/sdcard/tmp/out/{index}.txt"]
+            assert api.volatile.read(files[0]) == f"vol-{index}".encode()
+
+    def test_provider_vol_isolated_pairwise(self, crowd):
+        initiators, helpers = crowd.crowd
+        for index, initiator in enumerate(initiators):
+            delegate = crowd.spawn(helpers[0], initiator=initiator)
+            delegate.insert(WORDS, ContentValues({"word": f"word-{index}"}))
+        for index, initiator in enumerate(initiators):
+            delegate = crowd.spawn(helpers[1], initiator=initiator)
+            words = [r[0] for r in delegate.query(WORDS, projection=["word"]).rows]
+            assert words == [f"word-{index}"]
+        # Public stays empty.
+        assert crowd.spawn(helpers[0]).query(WORDS).rows == []
+
+    def test_clearing_one_domain_leaves_others(self, crowd):
+        initiators, helpers = crowd.crowd
+        for index, initiator in enumerate(initiators):
+            delegate = crowd.spawn(helpers[0], initiator=initiator)
+            delegate.write_external("data.txt", str(index).encode())
+        crowd.clear_volatile(initiators[0])
+        assert crowd.spawn(initiators[0]).volatile.list_files() == []
+        for initiator in initiators[1:]:
+            assert crowd.spawn(initiator).volatile.list_files() == [
+                "/storage/sdcard/tmp/data.txt"
+            ]
+
+    def test_ppriv_matrix_isolated(self, crowd):
+        initiators, helpers = crowd.crowd
+        # Every (helper, initiator) pair writes its own pPriv marker.
+        for helper in helpers:
+            for initiator in initiators:
+                delegate = crowd.spawn(helper, initiator=initiator)
+                delegate.ppriv.preferences().put("who", f"{helper}@{initiator}")
+        for helper in helpers:
+            for initiator in initiators:
+                delegate = crowd.spawn(helper, initiator=initiator)
+                assert delegate.ppriv.preferences().get("who") == f"{helper}@{initiator}"
+
+    def test_many_delegates_share_one_domain(self, crowd):
+        initiators, helpers = crowd.crowd
+        initiator = initiators[0]
+        for index, helper in enumerate(helpers):
+            delegate = crowd.spawn(helper, initiator=initiator)
+            delegate.write_external(f"shared/{index}.txt", b"x")
+        # All three wrote into the same Vol; any sibling sees all of it.
+        observer = crowd.spawn(helpers[0], initiator=initiator)
+        assert observer.sys.listdir("/storage/sdcard/shared") == ["0.txt", "1.txt", "2.txt"]
+
+    def test_process_table_scales(self, crowd):
+        initiators, helpers = crowd.crowd
+        spawned = []
+        for initiator in initiators:
+            for helper in helpers:
+                spawned.append(crowd.spawn(helper, initiator=initiator))
+        assert len(crowd.processes.instances_of_initiator(initiators[0])) == len(helpers)
+        total_delegates = sum(
+            1 for p in crowd.processes.alive() if p.context.is_delegate
+        )
+        assert total_delegates == len(initiators) * len(helpers)

@@ -1,0 +1,89 @@
+"""Single-branch Aufs fast-path tests.
+
+Initiator mounts are single-branch (Table 2); the mount must behave
+exactly like the backing subtree — this is how the paper's "no overhead
+for initiators" claim holds — including ownership of created files.
+"""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound
+from repro.kernel.aufs import AufsMount, Branch
+from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
+
+APP = Credentials(uid=1001)
+
+
+@pytest.fixture
+def backing():
+    fs = Filesystem(label="backing")
+    fs.mkdir("/branch", ROOT_CRED, mode=0o777)
+    return fs
+
+
+@pytest.fixture
+def mount(backing):
+    return AufsMount(
+        [Branch(backing, "/branch", writable=True, label="pub")],
+        always_allow_read=True,
+    )
+
+
+class TestFastPathEquivalence:
+    def test_write_read_roundtrip(self, mount, backing):
+        mount.write_file("/f.txt", b"data", APP)
+        assert mount.read_file("/f.txt", APP) == b"data"
+        assert backing.read_file("/branch/f.txt", ROOT_CRED) == b"data"
+
+    def test_created_file_owned_by_caller(self, mount, backing):
+        mount.write_file("/mine.txt", b"x", APP)
+        assert backing.stat("/branch/mine.txt", ROOT_CRED).uid == APP.uid
+
+    def test_append_no_copy_up(self, mount):
+        mount.write_file("/log", b"a", APP)
+        mount.append_file("/log", b"b", APP)
+        assert mount.read_file("/log", APP) == b"ab"
+        assert mount.copy_up_count == 0
+
+    def test_mkdir_and_readdir(self, mount):
+        mount.mkdir("/d", APP)
+        mount.write_file("/d/x", b"1", APP)
+        assert mount.readdir("/d", APP) == ["x"]
+        assert mount.readdir("/", APP) == ["d"]
+
+    def test_mkdir_parents(self, mount):
+        mount.mkdir("/a/b/c", APP, parents=True)
+        assert mount.stat("/a/b/c", APP).is_dir
+
+    def test_unlink(self, mount):
+        mount.write_file("/gone", b"x", APP)
+        mount.unlink("/gone", APP)
+        assert not mount.exists("/gone", APP)
+
+    def test_stat_missing_raises(self, mount):
+        with pytest.raises(FileNotFound):
+            mount.stat("/ghost", APP)
+
+    def test_exclusive_create(self, mount):
+        mount.write_file("/once", b"1", APP)
+        with pytest.raises(FileExists):
+            mount.open("/once", APP, write=True, create=True, exclusive=True)
+
+    def test_no_whiteouts_ever_created(self, mount, backing):
+        mount.write_file("/w", b"x", APP)
+        mount.unlink("/w", APP)
+        names = backing.readdir("/branch", ROOT_CRED)
+        assert not any(name.startswith(".wh.") for name in names)
+
+    def test_readonly_single_branch_rejects_writes(self, backing):
+        from repro.errors import ReadOnlyFilesystem
+
+        ro = AufsMount([Branch(backing, "/branch", writable=False)])
+        with pytest.raises(ReadOnlyFilesystem):
+            ro.write_file("/x", b"1", APP)
+
+    def test_two_mounts_same_branch_share_state(self, backing):
+        first = AufsMount([Branch(backing, "/branch", writable=True)])
+        second = AufsMount([Branch(backing, "/branch", writable=True)])
+        first.write_file("/shared", b"from-first", APP)
+        assert second.read_file("/shared", APP) == b"from-first"

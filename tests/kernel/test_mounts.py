@@ -1,0 +1,106 @@
+"""Mount namespace tests: longest-prefix resolution, unshare isolation."""
+
+import pytest
+
+from repro.errors import FileNotFound
+from repro.kernel.mounts import MountNamespace
+from repro.kernel.vfs import Filesystem, ROOT_CRED
+
+
+@pytest.fixture
+def namespace():
+    return MountNamespace(Filesystem(label="root"))
+
+
+class TestResolution:
+    def test_root_resolves_to_root_fs(self, namespace):
+        fs, inner = namespace.resolve("/etc/config")
+        assert inner == "/etc/config"
+        assert fs.label == "root"
+
+    def test_longest_prefix_wins(self, namespace):
+        sdcard = Filesystem(label="sdcard")
+        private = Filesystem(label="private")
+        namespace.mount("/storage/sdcard", sdcard)
+        namespace.mount("/storage/sdcard/data/A", private)
+        fs, inner = namespace.resolve("/storage/sdcard/data/A/file")
+        assert fs.label == "private"
+        assert inner == "/file"
+        fs, inner = namespace.resolve("/storage/sdcard/data/other")
+        assert fs.label == "sdcard"
+        assert inner == "/data/other"
+
+    def test_exact_mount_point_path(self, namespace):
+        sdcard = Filesystem(label="sdcard")
+        namespace.mount("/storage/sdcard", sdcard)
+        fs, inner = namespace.resolve("/storage/sdcard")
+        assert fs.label == "sdcard"
+        assert inner == "/"
+
+    def test_prefix_is_component_wise(self, namespace):
+        namespace.mount("/data", Filesystem(label="data"))
+        fs, _ = namespace.resolve("/database/x")
+        assert fs.label == "root"
+
+    def test_mount_for(self, namespace):
+        sdcard = Filesystem(label="sdcard")
+        namespace.mount("/storage/sdcard", sdcard)
+        point, fs = namespace.mount_for("/storage/sdcard/tmp/f")
+        assert point == "/storage/sdcard"
+        assert fs.label == "sdcard"
+
+
+class TestMountManagement:
+    def test_mount_shadows_previous(self, namespace):
+        namespace.mount("/m", Filesystem(label="one"))
+        namespace.mount("/m", Filesystem(label="two"))
+        fs, _ = namespace.resolve("/m/x")
+        assert fs.label == "two"
+
+    def test_umount(self, namespace):
+        namespace.mount("/m", Filesystem(label="one"))
+        namespace.umount("/m")
+        fs, _ = namespace.resolve("/m/x")
+        assert fs.label == "root"
+
+    def test_umount_root_rejected(self, namespace):
+        with pytest.raises(ValueError):
+            namespace.umount("/")
+
+    def test_umount_nonmount_raises(self, namespace):
+        with pytest.raises(FileNotFound):
+            namespace.umount("/not-mounted")
+
+    def test_mount_points_sorted(self, namespace):
+        namespace.mount("/b", Filesystem())
+        namespace.mount("/a", Filesystem())
+        assert namespace.mount_points() == ["/", "/a", "/b"]
+
+
+class TestUnshare:
+    def test_clone_sees_existing_mounts(self, namespace):
+        namespace.mount("/m", Filesystem(label="shared"))
+        clone = namespace.unshare()
+        fs, _ = clone.resolve("/m/x")
+        assert fs.label == "shared"
+
+    def test_clone_mounts_invisible_to_parent(self, namespace):
+        clone = namespace.unshare()
+        clone.mount("/private", Filesystem(label="clone-only"))
+        fs, _ = namespace.resolve("/private/x")
+        assert fs.label == "root"
+
+    def test_parent_mounts_after_clone_invisible_to_clone(self, namespace):
+        clone = namespace.unshare()
+        namespace.mount("/late", Filesystem(label="late"))
+        fs, _ = clone.resolve("/late/x")
+        assert fs.label == "root"
+
+    def test_underlying_files_shared(self, namespace):
+        shared = Filesystem(label="shared")
+        namespace.mount("/m", shared)
+        clone = namespace.unshare()
+        fs, inner = namespace.resolve("/m/f")
+        fs.write_file(inner, b"both see this", ROOT_CRED)
+        clone_fs, clone_inner = clone.resolve("/m/f")
+        assert clone_fs.read_file(clone_inner, ROOT_CRED) == b"both see this"

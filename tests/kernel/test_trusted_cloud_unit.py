@@ -1,0 +1,49 @@
+"""Unit tests for the TrustedCloud store itself (kernel level)."""
+
+import pytest
+
+from repro.errors import FileNotFound
+from repro.kernel.network import NetworkStack, TrustedCloud, TrustedCloudSocket
+
+
+class TestTrustedCloudStore:
+    def test_backend_registry(self):
+        cloud = TrustedCloud()
+        cloud.register_backend("com.app", "api.example")
+        assert cloud.is_backend_for("com.app", "api.example")
+        assert not cloud.is_backend_for("com.app", "other.example")
+        assert not cloud.is_backend_for("com.other", "api.example")
+        assert not cloud.is_backend_for(None, "api.example")
+
+    def test_put_fetch_per_domain(self):
+        cloud = TrustedCloud()
+        cloud.put("h", "dom1", "r", b"one")
+        cloud.put("h", "dom2", "r", b"two")
+        assert cloud.fetch("h", "dom1", "r") == b"one"
+        assert cloud.fetch("h", "dom2", "r") == b"two"
+
+    def test_fetch_missing_raises(self):
+        cloud = TrustedCloud()
+        with pytest.raises(FileNotFound):
+            cloud.fetch("h", "dom", "ghost")
+
+    def test_received_audit(self):
+        cloud = TrustedCloud()
+        cloud.store("h", "dom", b"payload SECRET tail")
+        assert cloud.domain_received("h", "dom", b"SECRET")
+        assert not cloud.domain_received("h", "other", b"SECRET")
+
+    def test_socket_wrapper(self):
+        cloud = TrustedCloud()
+        socket = TrustedCloudSocket(cloud, "h", "dom")
+        assert socket.send(b"abc") == 3
+        socket.put("r", b"stored")
+        assert socket.fetch("r") == b"stored"
+        socket.close()
+        assert cloud.domain_received("h", "dom", b"abc")
+
+    def test_enable_is_idempotent(self):
+        stack = NetworkStack()
+        first = stack.enable_trusted_cloud()
+        second = stack.enable_trusted_cloud()
+        assert first is second

@@ -1,0 +1,291 @@
+"""Engine tests: SELECT semantics, DML, constraints, aggregates."""
+
+import pytest
+
+from repro.errors import SqlError, SqlIntegrityError, SqlNameError
+from repro.minisql import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER DEFAULT 1)"
+    )
+    database.executemany(
+        "INSERT INTO words (word, frequency) VALUES (?, ?)",
+        [("alpha", 3), ("beta", 1), ("gamma", 2)],
+    )
+    return database
+
+
+class TestSelect:
+    def test_select_all(self, db):
+        result = db.execute("SELECT * FROM words ORDER BY _id")
+        assert result.columns == ["_id", "word", "frequency"]
+        assert result.rows[0] == (1, "alpha", 3)
+
+    def test_where_parameter(self, db):
+        result = db.execute("SELECT word FROM words WHERE frequency > ?", [1])
+        assert sorted(r[0] for r in result.rows) == ["alpha", "gamma"]
+
+    def test_order_by_desc(self, db):
+        result = db.execute("SELECT word FROM words ORDER BY frequency DESC")
+        assert [r[0] for r in result.rows] == ["alpha", "gamma", "beta"]
+
+    def test_order_by_ordinal(self, db):
+        result = db.execute("SELECT word, frequency FROM words ORDER BY 2")
+        assert [r[0] for r in result.rows] == ["beta", "gamma", "alpha"]
+
+    def test_order_by_unprojected_column(self, db):
+        result = db.execute("SELECT word FROM words ORDER BY frequency")
+        assert [r[0] for r in result.rows] == ["beta", "gamma", "alpha"]
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT word FROM words ORDER BY _id LIMIT 1 OFFSET 1")
+        assert result.rows == [("beta",)]
+
+    def test_expression_projection(self, db):
+        result = db.execute("SELECT frequency * 10 AS f10 FROM words WHERE word = 'beta'")
+        assert result.columns == ["f10"]
+        assert result.rows == [(10,)]
+
+    def test_distinct(self, db):
+        db.execute("INSERT INTO words (word, frequency) VALUES ('alpha', 3)")
+        result = db.execute("SELECT DISTINCT word, frequency FROM words WHERE word = 'alpha'")
+        assert len(result.rows) == 1
+
+    def test_like(self, db):
+        result = db.execute("SELECT word FROM words WHERE word LIKE '%a'")
+        assert sorted(r[0] for r in result.rows) == ["alpha", "beta", "gamma"]
+        result = db.execute("SELECT word FROM words WHERE word LIKE 'al%'")
+        assert [r[0] for r in result.rows] == ["alpha"]
+
+    def test_glob_case_sensitive(self, db):
+        assert db.execute("SELECT word FROM words WHERE word GLOB 'Al*'").rows == []
+        assert len(db.execute("SELECT word FROM words WHERE word GLOB 'al*'").rows) == 1
+
+    def test_between(self, db):
+        result = db.execute("SELECT word FROM words WHERE frequency BETWEEN 2 AND 3")
+        assert sorted(r[0] for r in result.rows) == ["alpha", "gamma"]
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT word FROM words WHERE word IN ('alpha', 'beta')")
+        assert len(result.rows) == 2
+
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT word, CASE WHEN frequency >= 2 THEN 'hot' ELSE 'cold' END AS label "
+            "FROM words ORDER BY _id"
+        )
+        assert result.rows == [("alpha", "hot"), ("beta", "cold"), ("gamma", "hot")]
+
+    def test_scalar_subquery(self, db):
+        result = db.execute("SELECT (SELECT MAX(frequency) FROM words)")
+        assert result.rows == [(3,)]
+
+    def test_correlated_subquery(self, db):
+        result = db.execute(
+            "SELECT word FROM words w WHERE frequency = "
+            "(SELECT MAX(frequency) FROM words WHERE _id <= w._id)"
+        )
+        assert [r[0] for r in result.rows] == ["alpha", "alpha", "alpha"] or [
+            r[0] for r in result.rows
+        ] == ["alpha"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 1").rows == [(2,)]
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(SqlNameError):
+            db.execute("SELECT * FROM missing")
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SqlNameError):
+            db.execute("SELECT nope FROM words")
+
+
+class TestNullSemantics:
+    def test_null_comparison_is_unknown(self, db):
+        db.execute("INSERT INTO words (word, frequency) VALUES (NULL, NULL)")
+        result = db.execute("SELECT COUNT(*) FROM words WHERE word = NULL")
+        assert result.rows == [(0,)]
+
+    def test_is_null(self, db):
+        db.execute("INSERT INTO words (word) VALUES (NULL)")
+        result = db.execute("SELECT _id FROM words WHERE word IS NULL")
+        assert len(result.rows) == 1
+
+    def test_is_not_null(self, db):
+        result = db.execute("SELECT COUNT(*) FROM words WHERE word IS NOT NULL")
+        assert result.rows == [(3,)]
+
+    def test_null_sorts_first(self, db):
+        db.execute("INSERT INTO words (word, frequency) VALUES (NULL, 0)")
+        result = db.execute("SELECT word FROM words ORDER BY word")
+        assert result.rows[0] == (None,)
+
+    def test_division_by_zero_is_null(self, db):
+        assert db.execute("SELECT 1 / 0").rows == [(None,)]
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM words").scalar() == 3
+
+    def test_count_ignores_nulls(self, db):
+        db.execute("INSERT INTO words (word) VALUES (NULL)")
+        assert db.execute("SELECT COUNT(word) FROM words").scalar() == 3
+
+    def test_sum_avg_min_max(self, db):
+        row = db.execute(
+            "SELECT SUM(frequency), AVG(frequency), MIN(frequency), MAX(frequency) FROM words"
+        ).rows[0]
+        assert row == (6, 2.0, 1, 3)
+
+    def test_aggregate_on_empty_set(self, db):
+        row = db.execute("SELECT COUNT(*), SUM(frequency), MAX(word) FROM words WHERE _id > 99").rows[0]
+        assert row == (0, None, None)
+
+    def test_group_by(self, db):
+        db.execute("INSERT INTO words (word, frequency) VALUES ('alpha', 7)")
+        result = db.execute(
+            "SELECT word, COUNT(*), SUM(frequency) FROM words GROUP BY word ORDER BY word"
+        )
+        assert result.rows[0] == ("alpha", 2, 10)
+
+    def test_having(self, db):
+        db.execute("INSERT INTO words (word, frequency) VALUES ('alpha', 7)")
+        result = db.execute(
+            "SELECT word FROM words GROUP BY word HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [("alpha",)]
+
+    def test_count_distinct(self, db):
+        db.execute("INSERT INTO words (word, frequency) VALUES ('alpha', 9)")
+        assert db.execute("SELECT COUNT(DISTINCT word) FROM words").scalar() == 3
+
+    def test_min_max_scalar_form(self, db):
+        assert db.execute("SELECT MAX(1, 5, 3)").scalar() == 5
+
+
+class TestJoins:
+    @pytest.fixture
+    def joined(self, db):
+        db.execute("CREATE TABLE tags (tag_id INTEGER PRIMARY KEY, word_id INTEGER, tag TEXT)")
+        db.executemany(
+            "INSERT INTO tags (word_id, tag) VALUES (?, ?)",
+            [(1, "greek"), (1, "first"), (3, "greek")],
+        )
+        return db
+
+    def test_inner_join(self, joined):
+        result = joined.execute(
+            "SELECT words.word, tags.tag FROM words JOIN tags ON words._id = tags.word_id "
+            "ORDER BY tags.tag_id"
+        )
+        assert result.rows == [("alpha", "greek"), ("alpha", "first"), ("gamma", "greek")]
+
+    def test_left_join_keeps_unmatched(self, joined):
+        result = joined.execute(
+            "SELECT words.word, tags.tag FROM words LEFT JOIN tags ON words._id = tags.word_id "
+            "WHERE tags.tag IS NULL"
+        )
+        assert result.rows == [("beta", None)]
+
+    def test_cross_join_with_where(self, joined):
+        result = joined.execute(
+            "SELECT w.word, t.tag FROM words w, tags t WHERE w._id = t.word_id AND t.tag = 'first'"
+        )
+        assert result.rows == [("alpha", "first")]
+
+
+class TestDml:
+    def test_insert_returns_lastrowid(self, db):
+        result = db.execute("INSERT INTO words (word) VALUES ('delta')")
+        assert result.lastrowid == 4
+
+    def test_explicit_pk(self, db):
+        db.execute("INSERT INTO words (_id, word) VALUES (42, 'answer')")
+        assert db.execute("SELECT word FROM words WHERE _id = 42").scalar() == "answer"
+        # autoincrement continues above the max
+        result = db.execute("INSERT INTO words (word) VALUES ('next')")
+        assert result.lastrowid == 43
+
+    def test_duplicate_pk_raises(self, db):
+        with pytest.raises(SqlIntegrityError):
+            db.execute("INSERT INTO words (_id, word) VALUES (1, 'dup')")
+
+    def test_insert_or_replace(self, db):
+        db.execute("INSERT OR REPLACE INTO words (_id, word) VALUES (1, 'replaced')")
+        assert db.execute("SELECT word FROM words WHERE _id = 1").scalar() == "replaced"
+        assert db.execute("SELECT COUNT(*) FROM words").scalar() == 3
+
+    def test_not_null_enforced(self, db):
+        db.execute("CREATE TABLE strict (id INTEGER PRIMARY KEY, v TEXT NOT NULL)")
+        with pytest.raises(SqlIntegrityError):
+            db.execute("INSERT INTO strict (id) VALUES (1)")
+
+    def test_unique_enforced(self, db):
+        db.execute("CREATE TABLE uq (id INTEGER PRIMARY KEY, v TEXT UNIQUE)")
+        db.execute("INSERT INTO uq (v) VALUES ('x')")
+        with pytest.raises(SqlIntegrityError):
+            db.execute("INSERT INTO uq (v) VALUES ('x')")
+
+    def test_default_applied(self, db):
+        db.execute("INSERT INTO words (word) VALUES ('defaulted')")
+        assert (
+            db.execute("SELECT frequency FROM words WHERE word = 'defaulted'").scalar() == 1
+        )
+
+    def test_update_with_where(self, db):
+        count = db.execute("UPDATE words SET frequency = 99 WHERE word = 'beta'").rowcount
+        assert count == 1
+        assert db.execute("SELECT frequency FROM words WHERE word = 'beta'").scalar() == 99
+
+    def test_update_expression_references_row(self, db):
+        db.execute("UPDATE words SET frequency = frequency + 10")
+        assert db.execute("SELECT SUM(frequency) FROM words").scalar() == 36
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM words WHERE frequency = 1").rowcount == 1
+        assert db.execute("SELECT COUNT(*) FROM words").scalar() == 2
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE archive (_id INTEGER PRIMARY KEY, word TEXT)")
+        db.execute("INSERT INTO archive (word) SELECT word FROM words WHERE frequency > 1")
+        assert db.execute("SELECT COUNT(*) FROM archive").scalar() == 2
+
+    def test_insert_wrong_arity_raises(self, db):
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO words (word, frequency) VALUES ('x')")
+
+    def test_autoincrement_base(self, db):
+        db.table("words").set_autoincrement_base(10_000_001)
+        result = db.execute("INSERT INTO words (word) VALUES ('volatile')")
+        assert result.lastrowid == 10_000_001
+
+
+class TestScalarFunctions:
+    def test_length_upper_lower(self, db):
+        row = db.execute("SELECT length(word), upper(word), lower('ABC') FROM words WHERE _id = 1").rows[0]
+        assert row == (5, "ALPHA", "abc")
+
+    def test_coalesce_ifnull(self, db):
+        assert db.execute("SELECT coalesce(NULL, NULL, 7)").scalar() == 7
+        assert db.execute("SELECT ifnull(NULL, 'fb')").scalar() == "fb"
+
+    def test_substr(self, db):
+        assert db.execute("SELECT substr('abcdef', 2, 3)").scalar() == "bcd"
+
+    def test_concat_operator(self, db):
+        assert db.execute("SELECT 'a' || 'b' || 'c'").scalar() == "abc"
+
+    def test_typeof(self, db):
+        assert db.execute("SELECT typeof(1)").scalar() == "integer"
+        assert db.execute("SELECT typeof('x')").scalar() == "text"
+        assert db.execute("SELECT typeof(NULL)").scalar() == "null"
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(SqlNameError):
+            db.execute("SELECT frobnicate(1)")

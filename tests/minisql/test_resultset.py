@@ -1,0 +1,54 @@
+"""ResultSet helper tests."""
+
+from repro.minisql import Database
+from repro.minisql.engine import ResultSet
+
+
+class TestResultSet:
+    def make(self):
+        return ResultSet(columns=["a", "b"], rows=[(1, "x"), (2, "y")], rowcount=2)
+
+    def test_dicts(self):
+        assert self.make().dicts() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_scalar(self):
+        assert self.make().scalar() == 1
+        assert ResultSet().scalar() is None
+
+    def test_len_and_iter(self):
+        result = self.make()
+        assert len(result) == 2
+        assert list(result) == [(1, "x"), (2, "y")]
+
+    def test_empty_defaults(self):
+        empty = ResultSet()
+        assert empty.columns == []
+        assert empty.rows == []
+        assert empty.rowcount == 0
+        assert empty.lastrowid is None
+
+    def test_column_order_preserved_through_engine(self):
+        db = Database()
+        db.execute("CREATE TABLE t (z INTEGER PRIMARY KEY, a TEXT, m TEXT)")
+        db.execute("INSERT INTO t (a, m) VALUES ('1', '2')")
+        result = db.execute("SELECT m, a, z FROM t")
+        assert result.columns == ["m", "a", "z"]
+        assert result.rows == [("2", "1", 1)]
+
+    def test_alias_column_names(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t (id) VALUES (7)")
+        result = db.execute("SELECT id AS identifier, id * 2 AS doubled FROM t")
+        assert result.columns == ["identifier", "doubled"]
+
+    def test_expression_column_gets_generated_name(self):
+        db = Database()
+        result = db.execute("SELECT 1 + 1")
+        assert result.columns == ["col1"]
+
+    def test_function_column_name(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        result = db.execute("SELECT COUNT(*) FROM t")
+        assert result.columns == ["count(*)"]

@@ -1,0 +1,223 @@
+"""Tokenizer and parser tests for the mini SQL engine."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.minisql import ast_nodes as ast
+from repro.minisql.parser import parse
+from repro.minisql.tokens import tokenize
+
+
+class TestTokenizer:
+    def test_keywords_upcased(self):
+        kinds = [(t.kind, t.value) for t in tokenize("select From WHERE")]
+        assert kinds[:3] == [("KEYWORD", "SELECT"), ("KEYWORD", "FROM"), ("KEYWORD", "WHERE")]
+
+    def test_identifiers_preserved(self):
+        tokens = tokenize("myTable _id")
+        assert tokens[0].value == "myTable"
+        assert tokens[1].value == "_id"
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == "42"
+        assert tokens[1].value == "3.14"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "select"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment here\n 1")
+        assert [t.value for t in tokens[:2]] == ["SELECT", "1"]
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("a <> b <= c || d")]
+        assert "<>" in values and "<=" in values and "||" in values
+
+    def test_params(self):
+        tokens = tokenize("? , ?")
+        assert tokens[0].value == "?"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT #")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestParserSelect:
+    def test_simple_select(self):
+        statement = parse("SELECT a, b FROM t")
+        assert isinstance(statement, ast.Select)
+        core = statement.cores[0]
+        assert [i.expr.name for i in core.items] == ["a", "b"]
+        assert core.source.name == "t"
+
+    def test_star(self):
+        core = parse("SELECT * FROM t").cores[0]
+        assert isinstance(core.items[0].expr, ast.Star)
+
+    def test_where_precedence(self):
+        core = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").cores[0]
+        assert core.where.op == "OR"
+        assert core.where.right.op == "AND"
+
+    def test_aliases(self):
+        core = parse("SELECT a AS x, b y FROM t z").cores[0]
+        assert core.items[0].alias == "x"
+        assert core.items[1].alias == "y"
+        assert core.source.alias == "z"
+
+    def test_order_by_limit_offset(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit.value == 5
+        assert statement.offset.value == 2
+
+    def test_union_all(self):
+        statement = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert statement.is_compound
+        assert len(statement.cores) == 2
+
+    def test_plain_union_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t UNION SELECT a FROM u")
+
+    def test_in_subquery(self):
+        core = parse("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)").cores[0]
+        assert isinstance(core.where, ast.InSelect)
+        assert core.where.negated
+
+    def test_exists(self):
+        core = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)").cores[0]
+        assert isinstance(core.where, ast.ExistsSelect)
+
+    def test_join_on(self):
+        core = parse("SELECT * FROM a JOIN b ON a.id = b.id").cores[0]
+        assert len(core.joins) == 1
+        assert core.joins[0].kind == "INNER"
+
+    def test_comma_join(self):
+        core = parse("SELECT * FROM a, b WHERE a.id = b.id").cores[0]
+        assert core.joins[0].kind == "CROSS"
+
+    def test_group_by_having(self):
+        core = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1").cores[0]
+        assert len(core.group_by) == 1
+        assert core.having is not None
+
+    def test_function_calls(self):
+        core = parse("SELECT COUNT(*), MAX(x), length(s) FROM t").cores[0]
+        assert core.items[0].expr.star
+        assert core.items[1].expr.name == "max"
+
+    def test_case_expression(self):
+        core = parse("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t").cores[0]
+        assert isinstance(core.items[0].expr, ast.CaseExpr)
+
+    def test_params_numbered(self):
+        core = parse("SELECT a FROM t WHERE a = ? AND b = ?").cores[0]
+        assert core.where.left.right.index == 0
+        assert core.where.right.right.index == 1
+
+    def test_subquery_in_from(self):
+        core = parse("SELECT x FROM (SELECT a AS x FROM t) sub").cores[0]
+        assert core.source.subquery is not None
+        assert core.source.alias == "sub"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t banana extra")
+
+
+class TestParserDml:
+    def test_insert(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.values) == 1
+
+    def test_insert_multi_row(self):
+        statement = parse("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(statement.values) == 3
+
+    def test_insert_or_replace(self):
+        assert parse("INSERT OR REPLACE INTO t (a) VALUES (1)").or_replace
+
+    def test_insert_select(self):
+        statement = parse("INSERT INTO t (a) SELECT b FROM u")
+        assert statement.select is not None
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = ? WHERE c = 2")
+        assert isinstance(statement, ast.Update)
+        assert [c for c, _ in statement.assignments] == ["a", "b"]
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestParserDdl:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+            "n INTEGER DEFAULT 0, u TEXT UNIQUE)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].not_null
+        assert statement.columns[2].default.value == 0
+        assert statement.columns[3].unique
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (id INTEGER PRIMARY KEY)").if_not_exists
+
+    def test_create_view(self):
+        statement = parse("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(statement, ast.CreateView)
+        assert statement.name == "v"
+
+    def test_create_trigger(self):
+        statement = parse(
+            "CREATE TRIGGER tr INSTEAD OF UPDATE ON v BEGIN "
+            "INSERT INTO d (a) VALUES (NEW.a); "
+            "DELETE FROM d WHERE a = OLD.a; END"
+        )
+        assert isinstance(statement, ast.CreateTrigger)
+        assert statement.event == "UPDATE"
+        assert len(statement.body) == 2
+
+    def test_trigger_body_select_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TRIGGER tr INSTEAD OF INSERT ON v BEGIN SELECT 1; END")
+
+    def test_drop(self):
+        statement = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, ast.DropStatement)
+        assert statement.kind == "TABLE"
+        assert statement.if_exists
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("VACUUM")

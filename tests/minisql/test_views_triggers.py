@@ -1,0 +1,209 @@
+"""SQL views, INSTEAD OF triggers, and the flattening planner — the exact
+machinery the COW proxy is built from (paper Figure 6 / footnote 5)."""
+
+import pytest
+
+from repro.errors import SqlNameError, SqlReadOnlyError
+from repro.minisql import Database
+from repro.minisql.planner import (
+    FLATTEN_ALWAYS,
+    FLATTEN_NEVER_WITH_ORDER_BY,
+    FLATTEN_ORDER_BY_SUBSET,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE tab1 (_id INTEGER PRIMARY KEY, data TEXT)")
+    database.executemany(
+        "INSERT INTO tab1 (_id, data) VALUES (?, ?)", [(1, "a"), (2, "b"), (3, "c")]
+    )
+    return database
+
+
+@pytest.fixture
+def figure6(db):
+    """The paper's Figure 6 setup, verbatim."""
+    db.execute(
+        "CREATE TABLE tab1_delta_A (_id INTEGER PRIMARY KEY, data TEXT, "
+        "_whiteout INTEGER DEFAULT 0)"
+    )
+    db.table("tab1_delta_A").set_autoincrement_base(10_000_001)
+    db.executemany(
+        "INSERT INTO tab1_delta_A (_id, data, _whiteout) VALUES (?, ?, ?)",
+        [(2, "b", 1), (3, "d", 0)],
+    )
+    db.execute("INSERT INTO tab1_delta_A (data, _whiteout) VALUES ('e', 0)")
+    db.execute(
+        "CREATE VIEW tab1_view_A AS "
+        "SELECT _id, data FROM tab1 WHERE _id NOT IN (SELECT _id FROM tab1_delta_A) "
+        "UNION ALL SELECT _id, data FROM tab1_delta_A WHERE _whiteout = 0"
+    )
+    db.execute(
+        "CREATE TRIGGER tab1_A_update INSTEAD OF UPDATE ON tab1_view_A BEGIN "
+        "INSERT OR REPLACE INTO tab1_delta_A (_id, data, _whiteout) "
+        "VALUES (OLD._id, NEW.data, 0); END"
+    )
+    db.execute(
+        "CREATE TRIGGER tab1_A_insert INSTEAD OF INSERT ON tab1_view_A BEGIN "
+        "INSERT INTO tab1_delta_A (_id, data, _whiteout) VALUES (NEW._id, NEW.data, 0); END"
+    )
+    db.execute(
+        "CREATE TRIGGER tab1_A_delete INSTEAD OF DELETE ON tab1_view_A BEGIN "
+        "INSERT OR REPLACE INTO tab1_delta_A (_id, data, _whiteout) "
+        "VALUES (OLD._id, OLD.data, 1); END"
+    )
+    return db
+
+
+class TestViews:
+    def test_simple_view(self, db):
+        db.execute("CREATE VIEW big AS SELECT _id, data FROM tab1 WHERE _id > 1")
+        result = db.execute("SELECT * FROM big ORDER BY _id")
+        assert result.rows == [(2, "b"), (3, "c")]
+
+    def test_view_reflects_base_changes(self, db):
+        db.execute("CREATE VIEW all_rows AS SELECT data FROM tab1")
+        db.execute("INSERT INTO tab1 (data) VALUES ('new')")
+        assert len(db.execute("SELECT * FROM all_rows").rows) == 4
+
+    def test_view_over_view(self, db):
+        db.execute("CREATE VIEW v1 AS SELECT _id, data FROM tab1 WHERE _id > 1")
+        db.execute("CREATE VIEW v2 AS SELECT data FROM v1 WHERE _id > 2")
+        assert db.execute("SELECT * FROM v2").rows == [("c",)]
+
+    def test_view_without_trigger_is_readonly(self, db):
+        db.execute("CREATE VIEW v AS SELECT data FROM tab1")
+        with pytest.raises(SqlReadOnlyError):
+            db.execute("INSERT INTO v (data) VALUES ('x')")
+        with pytest.raises(SqlReadOnlyError):
+            db.execute("UPDATE v SET data = 'x'")
+        with pytest.raises(SqlReadOnlyError):
+            db.execute("DELETE FROM v")
+
+    def test_duplicate_view_name_raises(self, db):
+        db.execute("CREATE VIEW v AS SELECT data FROM tab1")
+        with pytest.raises(SqlNameError):
+            db.execute("CREATE VIEW v AS SELECT data FROM tab1")
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW v AS SELECT data FROM tab1")
+        db.execute("DROP VIEW v")
+        with pytest.raises(SqlNameError):
+            db.execute("SELECT * FROM v")
+
+    def test_trigger_requires_view(self, db):
+        with pytest.raises(SqlNameError):
+            db.execute(
+                "CREATE TRIGGER t INSTEAD OF INSERT ON tab1 BEGIN "
+                "INSERT INTO tab1 (data) VALUES ('x'); END"
+            )
+
+
+class TestFigure6:
+    """The exact contents of the paper's Figure 6."""
+
+    def test_cow_view_contents(self, figure6):
+        result = figure6.execute("SELECT * FROM tab1_view_A ORDER BY _id")
+        assert result.rows == [(1, "a"), (3, "d"), (10_000_001, "e")]
+
+    def test_primary_table_untouched(self, figure6):
+        result = figure6.execute("SELECT * FROM tab1 ORDER BY _id")
+        assert result.rows == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_update_through_view_copies_on_write(self, figure6):
+        figure6.execute("UPDATE tab1_view_A SET data = ? WHERE _id = 1", ["a2"])
+        assert figure6.execute(
+            "SELECT data FROM tab1_view_A WHERE _id = 1"
+        ).scalar() == "a2"
+        assert figure6.execute("SELECT data FROM tab1 WHERE _id = 1").scalar() == "a"
+        assert figure6.execute(
+            "SELECT data, _whiteout FROM tab1_delta_A WHERE _id = 1"
+        ).rows == [("a2", 0)]
+
+    def test_delete_through_view_whiteouts(self, figure6):
+        figure6.execute("DELETE FROM tab1_view_A WHERE _id = 3")
+        ids = [r[0] for r in figure6.execute("SELECT _id FROM tab1_view_A ORDER BY _id").rows]
+        assert ids == [1, 10_000_001]
+        assert figure6.execute(
+            "SELECT _whiteout FROM tab1_delta_A WHERE _id = 3"
+        ).scalar() == 1
+
+    def test_insert_through_view_allocates_above_offset(self, figure6):
+        figure6.execute("INSERT INTO tab1_view_A (data) VALUES ('f')")
+        new_id = figure6.execute("SELECT MAX(_id) FROM tab1_delta_A").scalar()
+        assert new_id == 10_000_002
+        assert (new_id, "f") in figure6.execute("SELECT _id, data FROM tab1_view_A").rows
+
+    def test_read_your_writes(self, figure6):
+        figure6.execute("UPDATE tab1_view_A SET data = 'mine' WHERE _id = 1")
+        figure6.execute("DELETE FROM tab1_view_A WHERE _id = 3")
+        figure6.execute("INSERT INTO tab1_view_A (data) VALUES ('new')")
+        rows = dict(figure6.execute("SELECT _id, data FROM tab1_view_A").rows)
+        assert rows[1] == "mine"
+        assert 3 not in rows
+        assert "new" in rows.values()
+
+
+class TestFlatteningPlanner:
+    """Footnote 5: the ORDER BY restriction on UNION ALL flattening."""
+
+    def make_view(self, emulation):
+        db = Database(sqlite_emulation=emulation)
+        db.execute("CREATE TABLE a (_id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("CREATE TABLE b (_id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO a (v) VALUES ('x'), ('y')")
+        db.execute("INSERT INTO b (v) VALUES ('z')")
+        db.execute(
+            "CREATE VIEW u AS SELECT _id, v FROM a UNION ALL SELECT _id, v FROM b"
+        )
+        return db
+
+    def test_no_order_by_flattens(self):
+        db = self.make_view(FLATTEN_ORDER_BY_SUBSET)
+        db.execute("SELECT v FROM u WHERE v = 'x'")
+        assert db.stats.flattened_queries == 1
+        assert db.stats.materialized_views == 0
+
+    def test_order_by_subset_flattens_on_386(self):
+        db = self.make_view(FLATTEN_ORDER_BY_SUBSET)
+        db.execute("SELECT _id, v FROM u ORDER BY _id")
+        assert db.stats.flattened_queries == 1
+
+    def test_order_by_nonsubset_materializes_on_386(self):
+        db = self.make_view(FLATTEN_ORDER_BY_SUBSET)
+        db.execute("SELECT v FROM u ORDER BY _id")
+        assert db.stats.flattened_queries == 0
+        assert db.stats.materialized_views == 1
+
+    def test_star_always_flattens(self):
+        db = self.make_view(FLATTEN_NEVER_WITH_ORDER_BY)
+        db.execute("SELECT * FROM u ORDER BY _id")
+        assert db.stats.flattened_queries == 1
+
+    def test_3711_never_flattens_with_order_by(self):
+        db = self.make_view(FLATTEN_NEVER_WITH_ORDER_BY)
+        db.execute("SELECT _id, v FROM u ORDER BY _id")
+        assert db.stats.flattened_queries == 0
+
+    def test_ideal_always_flattens(self):
+        db = self.make_view(FLATTEN_ALWAYS)
+        db.execute("SELECT v FROM u ORDER BY _id")
+        assert db.stats.flattened_queries == 1
+
+    def test_flattened_and_materialized_agree(self):
+        queries = [
+            ("SELECT v FROM u WHERE v <> 'y' ORDER BY _id", None),
+            ("SELECT _id, v FROM u ORDER BY v DESC", None),
+            ("SELECT * FROM u ORDER BY _id", None),
+        ]
+        for sql, _ in queries:
+            flat = self.make_view(FLATTEN_ALWAYS).execute(sql)
+            mat = self.make_view(FLATTEN_NEVER_WITH_ORDER_BY).execute(sql)
+            assert flat.rows == mat.rows, sql
+
+    def test_aggregate_over_view_not_flattened(self):
+        db = self.make_view(FLATTEN_ORDER_BY_SUBSET)
+        assert db.execute("SELECT COUNT(*) FROM u").scalar() == 3
+        assert db.stats.flattened_queries == 0

@@ -1,0 +1,123 @@
+"""Tests for generators, the measurement harness, the latency model and
+table rendering."""
+
+import pytest
+
+from repro import AndroidManifest, Device
+from repro.workloads.generators import (
+    DICTIONARY_ROWS,
+    deterministic_bytes,
+    make_dictionary_words,
+    make_external_files,
+    make_image_files,
+    make_internal_files,
+    publish_download_set,
+)
+from repro.workloads.harness import Measurement, measure, overhead_pct
+from repro.workloads.latency import (
+    IO_FRACTION,
+    TASK_BASELINES_MS,
+    modelled_task_latency,
+)
+from repro.workloads.reports import pct, render_table
+
+
+class Nop:
+    def main(self, api, intent):
+        return None
+
+
+class TestGenerators:
+    def test_deterministic_bytes_stable(self):
+        assert deterministic_bytes(100) == deterministic_bytes(100)
+        assert deterministic_bytes(100, seed="a") != deterministic_bytes(100, seed="b")
+
+    def test_deterministic_bytes_length(self):
+        for size in (0, 1, 31, 32, 33, 4096):
+            assert len(deterministic_bytes(size)) == size
+
+    def test_dictionary_words_distinct(self):
+        words = make_dictionary_words(DICTIONARY_ROWS)
+        assert len(words) == len(set(words)) == 1000
+
+    def test_make_files(self, device):
+        device.install(AndroidManifest(package="com.gen.app"), Nop())
+        api = device.spawn("com.gen.app")
+        ext = make_external_files(api, count=3, size=64)
+        internal = make_internal_files(api, count=2, size=16)
+        assert len(ext) == 3 and len(internal) == 2
+        assert api.sys.stat(ext[0]).size == 64
+        assert api.sys.stat(internal[0]).size == 16
+
+    def test_image_files_are_jpegish(self, device):
+        device.install(AndroidManifest(package="com.gen.app"), Nop())
+        api = device.spawn("com.gen.app")
+        paths = make_image_files(api, count=1, size=1024)
+        assert api.sys.read_file(paths[0])[:2] == b"\xff\xd8"
+
+    def test_publish_download_set(self, device):
+        names = publish_download_set(device, count=5, size=10, host="h.example")
+        assert len(names) == 5
+        assert device.network.hosted("h.example", names[0]) == deterministic_bytes(10)
+
+
+class TestHarness:
+    def test_measure_returns_requested_trials(self):
+        m = measure(lambda: sum(range(100)), trials=7, label="t")
+        assert len(m.trials_ms) == 7
+        assert m.mean_ms > 0
+
+    def test_setup_not_timed(self):
+        import time
+
+        def slow_setup():
+            time.sleep(0.002)
+
+        m = measure(lambda: None, trials=3, setup=slow_setup)
+        assert m.mean_ms < 2.0  # setup's 2ms is excluded
+
+    def test_overhead_pct(self):
+        baseline = Measurement("b", [10.0, 10.0])
+        treatment = Measurement("t", [15.0, 15.0])
+        assert overhead_pct(baseline, treatment) == pytest.approx(50.0)
+
+    def test_single_trial_has_zero_std(self):
+        assert Measurement("x", [5.0]).std_ms == 0.0
+
+    def test_str_format(self):
+        assert "ms" in str(Measurement("x", [1.0, 2.0]))
+
+
+class TestLatencyModel:
+    def test_scale_one_returns_baseline(self):
+        for task, baseline in TASK_BASELINES_MS.items():
+            assert modelled_task_latency(task, 1.0) == pytest.approx(baseline)
+
+    def test_io_scale_bounded_by_io_fraction(self):
+        # Even a 10x I/O slowdown moves task latency by at most 9x the IO
+        # fraction of the baseline.
+        for task, baseline in TASK_BASELINES_MS.items():
+            slowed = modelled_task_latency(task, 10.0)
+            bound = baseline * (1 + 9 * IO_FRACTION[task])
+            assert slowed <= bound + 1e-6
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            modelled_task_latency("no_such_task", 1.0)
+
+
+class TestReports:
+    def test_render_alignment(self):
+        table = render_table(["A", "Bee"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("A  ")
+        assert "333" in lines[4]  # title, header, separator, row1, row2
+
+    def test_pct_format(self):
+        assert pct(31.66) == "31.7%"
+        assert pct(0) == "0.0%"
+
+    def test_non_string_cells(self):
+        table = render_table(["n"], [[42]])
+        assert "42" in table
