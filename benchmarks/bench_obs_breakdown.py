@@ -1,0 +1,68 @@
+"""Per-layer breakdown of a delegate invocation (the obs subsystem demo).
+
+Answers the ROADMAP question perf PRs need a baseline for: where does the
+time of one delegate launch go — Zygote fork, Aufs lookups/copy-up, the
+COW proxy, the SQL engine? Run with ``-s`` to see the breakdown tables;
+add ``--obs-jsonl DIR`` to keep the raw span dumps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AndroidManifest, Device, Intent
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro.obs import layer_self_times, span_time
+
+BENCH_INITIATOR = "com.bench.initiator"
+WORKER = "com.bench.worker"
+
+
+class _Worker:
+    """A delegate that exercises every layer: files (with copy-up), a
+    provider insert (COW proxy + SQL), and volatile writes."""
+
+    def main(self, api, intent):
+        api.sys.append_file("/storage/sdcard/shared/report.txt", b" delegate-note")
+        api.write_external("out/result.bin", b"r" * 4096)
+        api.insert(
+            Uri.content("user_dictionary", "words"),
+            ContentValues({"word": "traced", "frequency": 1, "locale": "en"}),
+        )
+        return "done"
+
+
+def _device():
+    device = Device(maxoid_enabled=True)
+    device.install(AndroidManifest(package=BENCH_INITIATOR), _Worker())
+    device.install(AndroidManifest(package=WORKER), _Worker())
+    seed = device.spawn(BENCH_INITIATOR)
+    seed.sys.makedirs("/storage/sdcard/shared")
+    seed.sys.write_file("/storage/sdcard/shared/report.txt", b"p" * 65536)
+    return device
+
+
+@pytest.mark.benchmark(group="obs-breakdown")
+def bench_delegate_launch_breakdown(benchmark, obs_capture):
+    """One traced delegate launch; asserts the trace covers every layer and
+    reports copy-up time as a fraction of the launch."""
+    device = _device()
+
+    def launch():
+        return device.launch_as_delegate(
+            WORKER, BENCH_INITIATOR, Intent("android.intent.action.MAIN")
+        )
+
+    invocation = benchmark(launch)
+    assert invocation.result == "done"
+
+    spans = obs_capture.spans()
+    times = layer_self_times(spans)
+    for layer in ("zygote", "vfs", "aufs", "cow", "sql"):
+        assert layer in times, f"no {layer} spans in the delegate launch trace"
+    launch_ms = sum(times.values())
+    copy_up_ms = span_time(spans, "aufs.copy_up")
+    if launch_ms > 0:
+        print(f"\ncopy-up: {copy_up_ms:.3f} ms "
+              f"({copy_up_ms / launch_ms * 100.0:.1f}% of traced launch time)")

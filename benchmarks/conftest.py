@@ -17,10 +17,25 @@ renders the same data as paper-style tables for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+import re
+
 import pytest
 
 from repro import AndroidManifest, Device
 from repro.apps import install_standard_apps
+from repro.obs import OBS, format_breakdown
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-jsonl",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="dump one JSONL trace file per benchmark using the obs_capture "
+        "fixture into DIR (created if missing)",
+    )
 
 
 class _NopApp:
@@ -59,6 +74,29 @@ def bench_device(config):
 @pytest.fixture
 def bench_api(bench_device, config):
     return spawn_for(bench_device, config)
+
+
+@pytest.fixture
+def obs_capture(request):
+    """Cross-layer tracing + metrics for one benchmark.
+
+    Yields the enabled :data:`repro.obs.OBS` instance; the benchmark body
+    runs traced, and at teardown a per-layer self-time breakdown is printed
+    (visible with ``-s``). With ``--obs-jsonl DIR`` the finished spans are
+    also dumped to ``DIR/<test>.jsonl`` for offline analysis.
+    """
+    out_dir = request.config.getoption("--obs-jsonl")
+    jsonl_path = None
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        stem = re.sub(r"[^\w.-]+", "_", request.node.nodeid)
+        jsonl_path = os.path.join(out_dir, f"{stem}.jsonl")
+    with OBS.capture(jsonl_path=jsonl_path) as obs:
+        yield obs
+        spans = obs.spans()
+        if spans:
+            print()
+            print(format_breakdown(spans, title=request.node.name))
 
 
 @pytest.fixture

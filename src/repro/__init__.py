@@ -24,6 +24,9 @@ Packages:
   studies (Dropbox, Email, Browser, document viewers, scanners, ...).
 - :mod:`repro.workloads` — workload generators, the latency model, and
   the measurement harness behind the benchmarks.
+- :mod:`repro.obs` — cross-layer observability: the span tracer, the
+  metrics registry, and per-layer breakdown reports, all behind the
+  single ``repro.obs.OBS.enabled`` switch (off by default, zero cost).
 """
 
 from repro.android.intents import Intent, IntentFilter

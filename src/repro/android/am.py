@@ -20,6 +20,7 @@ from repro.android.packages import PackageManager
 from repro.android.zygote import Zygote
 from repro.kernel.binder import BinderDriver, Transaction
 from repro.kernel.proc import Process, ProcessTable, TaskContext
+from repro.obs import OBS as _OBS
 
 # An app's entry point: receives (process, intent), returns a result that
 # is handed back to the invoker (startActivityForResult semantics).
@@ -125,6 +126,31 @@ class ActivityManagerService:
         (section 6.3): the user starts a delegate without the initiator's
         explicit invocation.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "am.start_activity",
+                caller=str(caller.context),
+                action=intent.action,
+            ) as span:
+                invocation = self._start_activity_impl(
+                    caller, intent, forced_initiator=forced_initiator
+                )
+                span.set(
+                    target=invocation.target, ctx=str(invocation.process.context)
+                )
+                _OBS.metrics.count("am.invocations")
+                if invocation.process.context.is_delegate:
+                    _OBS.metrics.count("am.delegate_invocations")
+                return invocation
+        return self._start_activity_impl(caller, intent, forced_initiator=forced_initiator)
+
+    def _start_activity_impl(
+        self,
+        caller: Process,
+        intent: Intent,
+        *,
+        forced_initiator: Optional[str] = None,
+    ) -> Invocation:
         target = self.resolve(intent, caller=caller.context.app)
         if forced_initiator is not None:
             initiator: Optional[str] = forced_initiator
@@ -160,6 +186,17 @@ class ActivityManagerService:
     def send_broadcast(self, sender: Process, intent: Intent) -> int:
         """Deliver a broadcast; a delegate's broadcasts stay inside its
         confinement domain (section 3.4). Returns receivers reached."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "am.broadcast", ctx=str(sender.context), action=intent.action
+            ) as span:
+                delivered = self._send_broadcast_impl(sender, intent)
+                span.set(delivered=delivered)
+                _OBS.metrics.count("am.broadcasts")
+                return delivered
+        return self._send_broadcast_impl(sender, intent)
+
+    def _send_broadcast_impl(self, sender: Process, intent: Intent) -> int:
         delivered = 0
         for intent_filter, process, handler in list(self._broadcast_receivers):
             if not process.alive or not intent_filter.matches(intent):

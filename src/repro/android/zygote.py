@@ -20,6 +20,7 @@ from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.kernel.sysfs import Sysfs
 from repro.kernel.vfs import Credentials, ROOT_CRED
 from repro.android.packages import PackageManager
+from repro.obs import OBS as _OBS
 
 # Hook signature: (package, initiator-or-None) -> the process's namespace.
 NamespaceBuilder = Callable[[str, Optional[str]], MountNamespace]
@@ -51,6 +52,13 @@ class Zygote:
         Mirrors the real sequence: fork (still root), unshare + mount via
         the branch manager, stamp sysfs, drop privilege to the app UID.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span("zygote.fork", app=package, initiator=initiator):
+                _OBS.metrics.count("zygote.forks")
+                return self._fork_app_impl(package, initiator)
+        return self._fork_app_impl(package, initiator)
+
+    def _fork_app_impl(self, package: str, initiator: Optional[str]) -> Process:
         installed = self._packages.get(package)
         if not self._maxoid_enabled:
             initiator = None

@@ -43,6 +43,7 @@ from repro.minisql import Database
 from repro.minisql import ast_nodes as ast
 from repro.minisql.engine import ResultSet
 from repro.minisql.parser import parse
+from repro.obs import OBS as _OBS
 
 #: Primary keys allocated for delegate inserts start here (paper: "the
 #: delta table's primary key starts at a large number N").
@@ -226,6 +227,10 @@ class CowProxy:
         self._materialized.add(key)
         self.stats.delta_tables_created += 1
         self.stats.cow_views_created += 1
+        if _OBS.enabled:
+            _OBS.metrics.count("cow.delta_tables_created")
+            _OBS.metrics.count("cow.views_created")
+            _OBS.tracer.event("cow.materialize", table=table, initiator=initiator)
         return cow_view
 
     def _ensure_view_cow(self, view: str, initiator: str) -> str:
@@ -345,7 +350,29 @@ class CowProxy:
         ``where`` is a SQL expression with ``?`` placeholders; ``order_by``
         is e.g. ``"title DESC, _id"``.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "cow.query", table=name, initiator=initiator
+            ) as span:
+                target = self.resolve(name, initiator, for_write=False)
+                span.set(target=target)
+                _OBS.metrics.count("cow.query")
+                return self._query_impl(
+                    name, target, projection, where, params, order_by, limit
+                )
         target = self.resolve(name, initiator, for_write=False)
+        return self._query_impl(name, target, projection, where, params, order_by, limit)
+
+    def _query_impl(
+        self,
+        name: str,
+        target: str,
+        projection: Optional[Sequence[str]],
+        where: Optional[str],
+        params: Sequence[object],
+        order_by: Optional[str],
+        limit: Optional[int],
+    ) -> ResultSet:
         columns = list(projection) if projection else ["*"]
         extra: List[str] = []
         if (
@@ -396,6 +423,15 @@ class CowProxy:
     ) -> int:
         """Insert a row; delegates' inserts land in the delta table and
         return the volatile primary key."""
+        if _OBS.enabled:
+            with _OBS.tracer.span("cow.insert", table=name, initiator=initiator):
+                _OBS.metrics.count("cow.insert")
+                return self._insert_impl(name, initiator, values)
+        return self._insert_impl(name, initiator, values)
+
+    def _insert_impl(
+        self, name: str, initiator: Optional[str], values: Dict[str, object]
+    ) -> int:
         target = self.resolve(name, initiator, for_write=initiator is not None)
         columns = list(values)
         placeholders = ", ".join("?" for _ in columns)
@@ -418,6 +454,20 @@ class CowProxy:
     ) -> int:
         """Update matching rows; a delegate's updates copy-on-write into
         its initiator's delta table. Returns rows affected."""
+        if _OBS.enabled:
+            with _OBS.tracer.span("cow.update", table=name, initiator=initiator):
+                _OBS.metrics.count("cow.update")
+                return self._update_impl(name, initiator, values, where, params)
+        return self._update_impl(name, initiator, values, where, params)
+
+    def _update_impl(
+        self,
+        name: str,
+        initiator: Optional[str],
+        values: Dict[str, object],
+        where: Optional[str],
+        params: Sequence[object],
+    ) -> int:
         target = self.resolve(name, initiator, for_write=initiator is not None)
         assignments = ", ".join(f"{c} = ?" for c in values)
         sql = f"UPDATE {target} SET {assignments}"
@@ -437,6 +487,19 @@ class CowProxy:
     ) -> int:
         """Delete matching rows; a delegate's deletes become whiteout
         records in the delta table. Returns rows affected."""
+        if _OBS.enabled:
+            with _OBS.tracer.span("cow.delete", table=name, initiator=initiator):
+                _OBS.metrics.count("cow.delete")
+                return self._delete_impl(name, initiator, where, params)
+        return self._delete_impl(name, initiator, where, params)
+
+    def _delete_impl(
+        self,
+        name: str,
+        initiator: Optional[str],
+        where: Optional[str],
+        params: Sequence[object],
+    ) -> int:
         target = self.resolve(name, initiator, for_write=initiator is not None)
         sql = f"DELETE FROM {target}"
         if where:
@@ -479,6 +542,18 @@ class CowProxy:
     def commit_volatile(self, name: str, initiator: str, row_id: int) -> bool:
         """Copy one volatile record into the primary table (the initiator's
         selective commit, section 3.3). Returns False if no such record."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "cow.commit", table=name, initiator=initiator, row_id=row_id
+            ) as span:
+                committed = self._commit_volatile_impl(name, initiator, row_id)
+                span.set(committed=committed)
+                if committed:
+                    _OBS.metrics.count("cow.commits")
+                return committed
+        return self._commit_volatile_impl(name, initiator, row_id)
+
+    def _commit_volatile_impl(self, name: str, initiator: str, row_id: int) -> bool:
         if not self.has_delta(name, initiator):
             return False
         delta = self.delta_name(name, initiator)
@@ -505,6 +580,17 @@ class CowProxy:
     def discard_volatile(self, name: str, initiator: str) -> int:
         """Drop all of ``initiator``'s volatile records for ``name``
         (the clean-up after commit, section 3.3). Returns rows discarded."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "cow.discard", table=name, initiator=initiator
+            ) as span:
+                count = self._discard_volatile_impl(name, initiator)
+                span.set(rows=count)
+                _OBS.metrics.count("cow.discarded_rows", count)
+                return count
+        return self._discard_volatile_impl(name, initiator)
+
+    def _discard_volatile_impl(self, name: str, initiator: str) -> int:
         if not self.has_delta(name, initiator):
             return 0
         delta = self.delta_name(name, initiator)

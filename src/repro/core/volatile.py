@@ -26,6 +26,7 @@ from repro.kernel.binder import BinderDriver, Transaction
 from repro.kernel.proc import Process
 from repro.kernel.syscall import Syscalls
 from repro.core.branches import BranchManager
+from repro.obs import OBS as _OBS
 
 EXT_TMP = vpath.join(EXTDIR, "tmp")
 
@@ -52,6 +53,14 @@ class VolatileFiles:
 
     def list_files(self) -> List[str]:
         """All volatile files, as app-visible tmp paths."""
+        if _OBS.enabled:
+            with _OBS.tracer.span("vol.list", initiator=self._package) as span:
+                found = self._list_files_impl()
+                span.set(count=len(found))
+                return found
+        return self._list_files_impl()
+
+    def _list_files_impl(self) -> List[str]:
         found: List[str] = []
         for root in (self.ext_tmp, self.int_tmp):
             try:
@@ -69,6 +78,17 @@ class VolatileFiles:
         ``EXTDIR/tmp/<p>`` commits to ``EXTDIR/<p>``; a path under the
         initiator's internal tmp commits into its internal dir.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "vol.commit", initiator=self._package, path=tmp_path
+            ) as span:
+                destination = self._commit_impl(tmp_path)
+                span.set(destination=destination)
+                _OBS.metrics.count("vol.commits")
+                return destination
+        return self._commit_impl(tmp_path)
+
+    def _commit_impl(self, tmp_path: str) -> str:
         if vpath.is_within(tmp_path, self.ext_tmp):
             rel = vpath.relative_to(tmp_path, self.ext_tmp)
             destination = vpath.join(EXTDIR, rel)

@@ -42,6 +42,7 @@ from repro.errors import (
     ReadOnlyFilesystem,
 )
 from repro.kernel import path as vpath
+from repro.obs import DEFAULT_BYTE_BUCKETS, OBS as _OBS
 from repro.kernel.vfs import (
     Credentials,
     FileHandle,
@@ -176,8 +177,12 @@ class AufsMount(FilesystemAPI):
 
         Returns ``(branch_index, stat)`` or raises :class:`FileNotFound`.
         """
+        if _OBS.enabled:
+            _OBS.metrics.count("aufs.lookup")
         for index, branch in enumerate(self.branches):
             self.lookup_branches_scanned += 1
+            if _OBS.enabled:
+                _OBS.metrics.count("aufs.lookup.branches_scanned")
             branch_path = branch.path(union_path)
             if not branch.fs.exists(branch_path, ROOT_CRED):
                 continue
@@ -243,6 +248,15 @@ class AufsMount(FilesystemAPI):
         The copy is owned by the writer, matching Maxoid's redirect
         semantics: after copy-up the delegate owns its private copy.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "aufs.copy_up", mount=self.label, path=union_path
+            ) as span:
+                self._copy_up_impl(union_path, source_index, cred, span)
+            return
+        self._copy_up_impl(union_path, source_index, cred, None)
+
+    def _copy_up_impl(self, union_path, source_index, cred, span) -> None:
         branch = self._require_writable()
         source = self.branches[source_index]
         data = source.fs.read_file(source.path(union_path), ROOT_CRED)
@@ -254,6 +268,11 @@ class AufsMount(FilesystemAPI):
         branch.fs.chown(target, cred.uid, gid=cred.gid)
         self.copy_up_count += 1
         self.copy_up_bytes += len(data)
+        if span is not None:
+            span.set(bytes=len(data), branch=branch.label or branch.root)
+            _OBS.metrics.count("aufs.copy_up")
+            _OBS.metrics.count("aufs.copy_up.bytes", len(data))
+            _OBS.metrics.observe("aufs.copy_up.size", len(data), DEFAULT_BYTE_BUCKETS)
 
     def _copy_up_tree(self, union_path: str, cred: Credentials) -> None:
         """Recursively materialize a visible subtree in the writable branch."""
@@ -283,6 +302,53 @@ class AufsMount(FilesystemAPI):
         return stat
 
     def open(
+        self,
+        path: str,
+        cred: Credentials,
+        *,
+        read: bool = True,
+        write: bool = False,
+        create: bool = False,
+        truncate: bool = False,
+        append: bool = False,
+        exclusive: bool = False,
+        mode: int = 0o644,
+    ) -> FileHandle:
+        if _OBS.enabled:
+            wb = self.writable_branch
+            with _OBS.tracer.span(
+                "aufs.open",
+                mount=self.label,
+                path=path,
+                write=write or truncate or append,
+                writable_branch=(wb.label or wb.root) if wb is not None else None,
+                writable_root=wb.root if wb is not None else None,
+            ):
+                _OBS.metrics.count("aufs.open")
+                return self._open_impl(
+                    path,
+                    cred,
+                    read=read,
+                    write=write,
+                    create=create,
+                    truncate=truncate,
+                    append=append,
+                    exclusive=exclusive,
+                    mode=mode,
+                )
+        return self._open_impl(
+            path,
+            cred,
+            read=read,
+            write=write,
+            create=create,
+            truncate=truncate,
+            append=append,
+            exclusive=exclusive,
+            mode=mode,
+        )
+
+    def _open_impl(
         self,
         path: str,
         cred: Credentials,

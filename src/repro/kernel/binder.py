@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import IpcDenied, ProviderNotFound
 from repro.kernel.proc import Process, TaskContext
+from repro.obs import OBS as _OBS
 
 
 @dataclass
@@ -89,7 +90,20 @@ class BinderDriver:
 
         Raises :class:`IpcDenied` when the installed policy refuses the
         pair; otherwise invokes the endpoint handler and returns its reply.
+
+        With tracing enabled the transaction runs inside a ``binder.transact``
+        span, so work the endpoint handler does (syscalls, provider queries)
+        nests under the caller's trace — the propagation that stitches one
+        delegate invocation into a single tree.
         """
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "binder.transact", ctx=str(sender.context), target=target, code=code
+            ):
+                return self._transact_impl(sender, target, code, payload)
+        return self._transact_impl(sender, target, code, payload)
+
+    def _transact_impl(self, sender: Process, target: str, code: str, payload: Any) -> Any:
         endpoint = self.endpoint(target)
         transaction = Transaction(
             sender_pid=sender.pid,
@@ -99,8 +113,12 @@ class BinderDriver:
         )
         if self._policy is not None and not self._policy(sender.context, endpoint):
             self.denied_log.append(transaction)
+            if _OBS.enabled:
+                _OBS.metrics.count("binder.denied")
             raise IpcDenied(
                 f"binder: {sender.context} may not transact with {endpoint.name}"
             )
         self.transaction_log.append(transaction)
+        if _OBS.enabled:
+            _OBS.metrics.count("binder.transactions")
         return endpoint.handler(transaction)

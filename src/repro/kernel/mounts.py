@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import FileNotFound
 from repro.kernel import path as vpath
 from repro.kernel.vfs import Filesystem, FilesystemAPI
+from repro.obs import OBS as _OBS
 
 
 class MountNamespace:
@@ -61,6 +62,8 @@ class MountNamespace:
 
         Chooses the mount point with the longest prefix match.
         """
+        if _OBS.enabled:
+            _OBS.metrics.count("mounts.resolve")
         path = vpath.normalize(path)
         best = "/"
         for point in self._mounts:

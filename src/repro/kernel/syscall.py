@@ -18,6 +18,7 @@ from repro.errors import CrossDeviceLink, NoSuchProcess
 from repro.kernel import path as vpath
 from repro.kernel.proc import Process
 from repro.kernel.vfs import FileHandle, Stat
+from repro.obs import DEFAULT_BYTE_BUCKETS, OBS as _OBS
 
 O_RDONLY = 0x0
 O_WRONLY = 0x1
@@ -42,6 +43,15 @@ class Syscalls:
 
     def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> FileHandle:
         """Open ``path`` with POSIX-style ``flags``; returns a file handle."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "vfs.open", ctx=str(self.process.context), path=path, flags=flags
+            ):
+                _OBS.metrics.count("vfs.open")
+                return self._open_impl(path, flags, mode)
+        return self._open_impl(path, flags, mode)
+
+    def _open_impl(self, path: str, flags: int, mode: int) -> FileHandle:
         self._check_alive()
         fs, inner = self.process.namespace.resolve(path)
         accmode = flags & 0o3
@@ -103,14 +113,46 @@ class Syscalls:
     # -- convenience wrappers -------------------------------------------
 
     def read_file(self, path: str) -> bytes:
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "vfs.read", ctx=str(self.process.context), path=path
+            ) as span:
+                data = self._read_file_impl(path)
+                span.set(bytes=len(data))
+                _OBS.metrics.count("vfs.read")
+                _OBS.metrics.observe("vfs.read.bytes", len(data), DEFAULT_BYTE_BUCKETS)
+                return data
+        return self._read_file_impl(path)
+
+    def _read_file_impl(self, path: str) -> bytes:
         with self.open(path, O_RDONLY) as handle:
             return handle.read()
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> None:
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "vfs.write", ctx=str(self.process.context), path=path, bytes=len(data)
+            ):
+                _OBS.metrics.count("vfs.write")
+                _OBS.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
+                return self._write_file_impl(path, data, mode)
+        return self._write_file_impl(path, data, mode)
+
+    def _write_file_impl(self, path: str, data: bytes, mode: int = 0o644) -> None:
         with self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode=mode) as handle:
             handle.write(data)
 
     def append_file(self, path: str, data: bytes) -> None:
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "vfs.write", ctx=str(self.process.context), path=path,
+                bytes=len(data), append=True,
+            ):
+                _OBS.metrics.count("vfs.write")
+                _OBS.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
+                with self.open(path, O_WRONLY | O_APPEND) as handle:
+                    handle.write(data)
+                return
         with self.open(path, O_WRONLY | O_APPEND) as handle:
             handle.write(data)
 

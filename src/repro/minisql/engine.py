@@ -29,6 +29,7 @@ from repro.minisql.expr import (
 )
 from repro.minisql.parser import parse
 from repro.minisql.table import Table
+from repro.obs import OBS as _OBS
 
 
 @dataclass
@@ -110,6 +111,18 @@ class Database:
 
     def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
         """Parse and execute one SQL statement."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "sql.execute", sql=sql if len(sql) <= 200 else sql[:197] + "..."
+            ) as span:
+                result = self._execute_impl(sql, params)
+                span.set(rows=len(result.rows), rowcount=result.rowcount)
+                _OBS.metrics.count("sql.statements")
+                _OBS.metrics.observe("sql.execute.ms", span.elapsed_ms)
+                return result
+        return self._execute_impl(sql, params)
+
+    def _execute_impl(self, sql: str, params: Sequence[object]) -> ResultSet:
         statement = self._statement_cache.get(sql)
         if statement is None:
             statement = parse(sql)

@@ -1,0 +1,150 @@
+"""Cross-layer observability for the Maxoid reproduction.
+
+One process-wide :class:`Observability` instance (``OBS``) owns the
+:class:`~repro.obs.trace.Tracer` and the
+:class:`~repro.obs.metrics.Metrics` registry. Instrumented hot paths in
+the kernel (:mod:`repro.kernel.syscall`, :mod:`repro.kernel.aufs`,
+:mod:`repro.kernel.binder`, :mod:`repro.kernel.mounts`), the framework
+(:mod:`repro.android.am`, :mod:`repro.android.zygote`), the Maxoid core
+(:mod:`repro.core.cow`, :mod:`repro.core.volatile`) and the SQL engine
+(:mod:`repro.minisql.engine`) all gate on the single ``OBS.enabled``
+attribute, so the disabled fast path costs one attribute load and a
+branch per operation and nothing else.
+
+Span taxonomy (the prefix is the layer):
+
+- ``am.*``      — Activity Manager: ``am.start_activity``, ``am.broadcast``
+- ``zygote.*``  — process creation: ``zygote.fork``
+- ``binder.*``  — IPC: ``binder.transact``
+- ``vfs.*``     — syscall layer: ``vfs.open``, ``vfs.read``, ``vfs.write``
+- ``aufs.*``    — union fs: ``aufs.open``, ``aufs.copy_up``
+- ``cow.*``     — SQLite COW proxy: ``cow.query``/``insert``/``update``/
+  ``delete``/``commit``/``discard``
+- ``sql.*``     — mini SQL engine: ``sql.execute``
+- ``vol.*``     — volatile-state management: ``vol.commit``
+
+Typical use::
+
+    from repro.obs import OBS
+
+    with OBS.capture() as obs:
+        device.launch_as_delegate(...)
+        trees = obs.tracer.trees()
+        delta = obs.metrics.snapshot()  # capture() starts from zero
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricError,
+    Metrics,
+    MetricsSnapshot,
+    diff,
+)
+from repro.obs.report import (
+    breakdown,
+    counters_by_layer,
+    format_breakdown,
+    layer_self_times,
+    span_time,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    RingBufferSink,
+    Span,
+    SpanNode,
+    Tracer,
+    build_trees,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "Tracer",
+    "Span",
+    "SpanNode",
+    "RingBufferSink",
+    "JsonlSink",
+    "build_trees",
+    "Metrics",
+    "MetricsSnapshot",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "diff",
+    "layer_self_times",
+    "span_time",
+    "breakdown",
+    "format_breakdown",
+    "counters_by_layer",
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+]
+
+
+class Observability:
+    """The tracer + metrics pair behind one enable switch."""
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = Metrics()
+        self.enabled = False
+
+    def enable(self, jsonl_path: Optional[str] = None, ring_capacity: int = 8192) -> None:
+        """Turn instrumentation on (idempotent)."""
+        self.tracer.enable(jsonl_path=jsonl_path, capacity=ring_capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn instrumentation off; closes any JSONL sink."""
+        self.tracer.disable()
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop recorded spans and all metric values."""
+        self.tracer.clear()
+        self.metrics.reset()
+
+    @contextmanager
+    def capture(
+        self, jsonl_path: Optional[str] = None, ring_capacity: int = 8192
+    ) -> Iterator["Observability"]:
+        """Enable from a clean slate for the duration of a ``with`` block.
+
+        Restores the previous enabled/disabled state afterwards, so tests
+        and benchmarks can nest captures without leaking global state.
+        """
+        was_enabled = self.enabled
+        self.reset()
+        self.enable(jsonl_path=jsonl_path, ring_capacity=ring_capacity)
+        try:
+            yield self
+        finally:
+            self.disable()
+            if was_enabled:
+                self.enable()
+
+    # -- conveniences over the pair -------------------------------------
+
+    def spans(self):
+        """Finished spans in the ring buffer."""
+        return self.tracer.finished()
+
+    def trees(self):
+        """Finished spans as reconstructed trees."""
+        return self.tracer.trees()
+
+
+#: The process-wide observability instance every instrumented module uses.
+OBS = Observability()

@@ -1,0 +1,265 @@
+"""The metrics registry: counters, gauges, histograms, snapshot/diff.
+
+Counters are monotone (Anception-style per-operation accounting at the
+virtualization boundary), gauges are point-in-time values, histograms
+bucket observations against fixed boundaries chosen at registration.
+
+``snapshot()`` freezes the whole registry; ``diff(a, b)`` returns the
+elementwise delta ``b - a`` as another snapshot, and snapshots form a
+group under ``+``/``-`` so that ``diff(a, b) + diff(b, c) == diff(a, c)``
+— the property the benchmark breakdowns rely on when they subtract a
+warm-up window from a measurement window.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "Metrics",
+    "MetricsSnapshot",
+    "diff",
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+]
+
+#: Latency boundaries in milliseconds (upper-inclusive bucket edges).
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0,
+)
+
+#: Payload-size boundaries in bytes.
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+class MetricError(ReproError):
+    """Misuse of the metrics API (non-monotone counter, bucket mismatch)."""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise MetricError(f"counter {self.name}: increment must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-boundary histogram.
+
+    ``boundaries`` are upper-inclusive bucket edges; one overflow bucket
+    catches everything above the last edge, so ``len(counts) ==
+    len(boundaries) + 1`` and ``sum(counts) == count`` always holds.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count")
+
+    def __init__(self, name: str, boundaries: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise MetricError(
+                f"histogram {name}: boundaries must be non-empty, sorted, unique"
+            )
+        self.name = name
+        self.boundaries = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable histogram state; supports elementwise +/-."""
+
+    boundaries: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    total: float
+    count: int
+
+    def _combine(self, other: "HistogramSnapshot", sign: int) -> "HistogramSnapshot":
+        if other.boundaries != self.boundaries:
+            raise MetricError("histogram snapshots have different boundaries")
+        return HistogramSnapshot(
+            boundaries=self.boundaries,
+            counts=tuple(a + sign * b for a, b in zip(self.counts, other.counts)),
+            total=self.total + sign * other.total,
+            count=self.count + sign * other.count,
+        )
+
+    def __add__(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        return self._combine(other, 1)
+
+    def __sub__(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        return self._combine(other, -1)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+_EMPTY_HIST_CACHE: Dict[Tuple[float, ...], HistogramSnapshot] = {}
+
+
+def _empty_hist(boundaries: Tuple[float, ...]) -> HistogramSnapshot:
+    snap = _EMPTY_HIST_CACHE.get(boundaries)
+    if snap is None:
+        snap = HistogramSnapshot(boundaries, (0,) * (len(boundaries) + 1), 0.0, 0)
+        _EMPTY_HIST_CACHE[boundaries] = snap
+    return snap
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen view of the registry; forms a group under +/-.
+
+    Names absent from one operand are treated as zero, so diffs between
+    snapshots taken before and after a metric first appeared still work.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def _combine(self, other: "MetricsSnapshot", sign: int) -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + sign * value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = gauges.get(name, 0.0) + sign * value
+        histograms = dict(self.histograms)
+        for name, hist in other.histograms.items():
+            base = histograms.get(name, _empty_hist(hist.boundaries))
+            histograms[name] = base._combine(hist, sign)
+        return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    def __add__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        return self._combine(other, 1)
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        return self._combine(other, -1)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def nonzero(self) -> "MetricsSnapshot":
+        """Drop zero-valued entries (normal form, for display and equality
+        across snapshots that materialized different metric sets)."""
+        return MetricsSnapshot(
+            counters={k: v for k, v in self.counters.items() if v != 0},
+            gauges={k: v for k, v in self.gauges.items() if v != 0.0},
+            histograms={k: h for k, h in self.histograms.items() if h.count != 0},
+        )
+
+
+def diff(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnapshot:
+    """The elementwise delta ``after - before``."""
+    return after - before
+
+
+class Metrics:
+    """Registry of named metrics, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, boundaries: Sequence[float] = DEFAULT_MS_BUCKETS) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(name, boundaries)
+        elif tuple(float(b) for b in boundaries) != hist.boundaries:
+            raise MetricError(
+                f"histogram {name} already registered with different boundaries"
+            )
+        return hist
+
+    # -- hot-path conveniences ------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float, boundaries: Sequence[float] = DEFAULT_MS_BUCKETS) -> None:
+        self.histogram(name, boundaries).observe(value)
+
+    # -- snapshotting ----------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={
+                name: HistogramSnapshot(
+                    boundaries=h.boundaries,
+                    counts=tuple(h.counts),
+                    total=h.total,
+                    count=h.count,
+                )
+                for name, h in self._histograms.items()
+            },
+        )
+
+    @staticmethod
+    def diff(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnapshot:
+        return diff(before, after)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

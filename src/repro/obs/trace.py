@@ -1,0 +1,348 @@
+"""The tracer: spans, sinks, and nested-span propagation.
+
+A :class:`Span` covers one operation in one layer (``vfs.open``,
+``aufs.copy_up``, ``cow.query``, ...). Because the whole simulation is a
+synchronous in-process call chain, parent/child relationships fall out of
+a simple span stack: when the Activity Manager opens ``am.start_activity``
+and the delegate's handler then issues syscalls, the ``vfs.*`` spans are
+created while the AM span is still open and inherit it as their parent.
+One delegate invocation therefore yields a single connected trace tree
+spanning AM -> Zygote -> syscall -> Aufs -> COW proxy, which is exactly
+the cross-layer visibility Maxoid debugging needs.
+
+Design constraints:
+
+- **Zero cost when disabled.** Instrumented call sites gate on a single
+  attribute check (``if OBS.enabled:``); this module is only entered once
+  tracing is on. :meth:`Tracer.span` additionally returns a shared no-op
+  span when called without the gate.
+- Spans are emitted to sinks at *exit* (children before parents); sinks
+  and tests reconstruct the tree from ``parent_id``/``trace_id``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanNode",
+    "RingBufferSink",
+    "JsonlSink",
+    "Tracer",
+    "build_trees",
+]
+
+
+class Span:
+    """One traced operation; usable as a context manager."""
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "attrs",
+        "start",
+        "end",
+        "status",
+    )
+
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.status = "ok"
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self.tracer is not None:
+            self.tracer._finish(self)
+
+    # -- span API --------------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event as a zero-duration child span."""
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end - self.start) * 1000.0
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Time since the span opened (duration once closed)."""
+        if self.end:
+            return self.duration_ms
+        return (time.perf_counter() - self.start) * 1000.0
+
+    @property
+    def layer(self) -> str:
+        """The span taxonomy layer: the prefix before the first dot."""
+        return self.name.split(".", 1)[0]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Span {self.name} #{self.span_id} parent={self.parent_id}>"
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class RingBufferSink:
+    """Keeps the most recent finished spans in memory."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def on_span(self, span: Span) -> None:
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends each finished span as one JSON line (for offline analysis)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self.written = 0
+
+    def on_span(self, span: Span) -> None:
+        self._fh.write(json.dumps(span.to_dict(), default=str) + "\n")
+        self.written += 1
+
+    def clear(self) -> None:
+        pass
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class Tracer:
+    """Creates spans, tracks the active-span stack, fans out to sinks."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.ring = RingBufferSink()
+        self._sinks: List[Any] = [self.ring]
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self, jsonl_path: Optional[str] = None, capacity: int = 8192) -> None:
+        """Turn tracing on; optionally tee finished spans to a JSONL file."""
+        if capacity != self.ring.capacity:
+            self.ring = RingBufferSink(capacity)
+            self._sinks = [self.ring] + [
+                s for s in self._sinks if not isinstance(s, RingBufferSink)
+            ]
+        if jsonl_path is not None:
+            self._sinks.append(JsonlSink(jsonl_path))
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        for sink in self._sinks:
+            if isinstance(sink, JsonlSink):
+                sink.close()
+        self._sinks = [s for s in self._sinks if not isinstance(s, JsonlSink)]
+        self._stack.clear()
+
+    def add_sink(self, sink: Any) -> None:
+        self._sinks.append(sink)
+
+    def clear(self) -> None:
+        """Drop recorded spans (the JSONL file, if any, is untouched)."""
+        self.ring.clear()
+        self._stack.clear()
+
+    # -- span creation ---------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span as a context manager.
+
+        Call sites on hot paths gate on ``enabled`` *before* building the
+        kwargs; this check is a second line of defence for cold paths.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            tracer=self,
+            trace_id=parent.trace_id if parent is not None else next(self._ids),
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A zero-duration span at the current stack position."""
+        if not self.enabled:
+            return
+        with self.span(name, **attrs):
+            pass
+
+    def _finish(self, span: Span) -> None:
+        # The stack discipline is enforced by the context-manager protocol;
+        # remove the span wherever it is in case of unusual exits.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        for sink in self._sinks:
+            sink.on_span(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- inspection ------------------------------------------------------
+
+    def finished(self) -> List[Span]:
+        """All finished spans currently in the ring buffer."""
+        return self.ring.spans
+
+    def trees(self) -> List["SpanNode"]:
+        """Finished spans reassembled into trees, one per trace id."""
+        return build_trees(self.finished())
+
+
+class SpanNode:
+    """A span plus its children — the reconstructed call tree."""
+
+    __slots__ = ("span", "children")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self.children: List[SpanNode] = []
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    def walk(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def layers(self) -> set:
+        """Every taxonomy layer present in this tree."""
+        return {node.span.layer for node in self.walk()}
+
+    def find(self, name: str) -> List["SpanNode"]:
+        """All descendant nodes (inclusive) with the given span name."""
+        return [node for node in self.walk() if node.span.name == name]
+
+    def render(self, indent: int = 0) -> str:
+        """Indented text rendering (debug / report aid)."""
+        lines = [f"{'  ' * indent}{self.span.name} [{self.span.duration_ms:.3f}ms]"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def build_trees(spans: List[Span]) -> List[SpanNode]:
+    """Reassemble finished spans into root trees.
+
+    Spans arrive children-first (they finish before their parents); a
+    parent missing from ``spans`` (e.g. evicted from the ring, or still
+    open) promotes its orphaned children to roots.
+    """
+    nodes = {span.span_id: SpanNode(span) for span in spans}
+    roots: List[SpanNode] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = nodes.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    # Children finished before parents: re-sort each level by start time.
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.span.start)
+    roots.sort(key=lambda n: n.span.start)
+    return roots

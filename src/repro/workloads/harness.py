@@ -4,15 +4,23 @@ The paper reports microbenchmarks "averaged over 1000 trials" and app
 benchmarks "averaged over 5 trials" with ± the standard deviation; the
 harness reproduces that reporting style over the simulation's wall-clock
 times.
+
+With ``capture_metrics=True`` a measurement also carries the
+:mod:`repro.obs` metrics delta accumulated across the timed trials, so a
+benchmark row can report per-layer operation counts (copy-ups per
+delegate launch, SQL statements per query, ...) next to its latency.
 """
 
 from __future__ import annotations
 
 import gc
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean, median, stdev
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs import OBS, MetricsSnapshot, counters_by_layer
 
 
 @dataclass
@@ -21,18 +29,37 @@ class Measurement:
 
     label: str
     trials_ms: List[float]
+    #: Metrics accumulated across the timed trials (``capture_metrics=True``).
+    metrics_delta: Optional[MetricsSnapshot] = None
+
+    def _require_trials(self, statistic: str) -> None:
+        if not self.trials_ms:
+            raise ReproError(
+                f"measurement {self.label!r}: cannot compute {statistic} of an "
+                f"empty trial list (did the workload run zero trials?)"
+            )
 
     @property
     def mean_ms(self) -> float:
+        self._require_trials("mean")
         return mean(self.trials_ms)
 
     @property
     def median_ms(self) -> float:
+        self._require_trials("median")
         return median(self.trials_ms)
 
     @property
     def std_ms(self) -> float:
+        self._require_trials("stdev")
         return stdev(self.trials_ms) if len(self.trials_ms) > 1 else 0.0
+
+    def layer_counters(self) -> Dict[str, Dict[str, int]]:
+        """The captured metrics delta grouped by taxonomy layer (empty when
+        the measurement ran without ``capture_metrics``)."""
+        if self.metrics_delta is None:
+            return {}
+        return counters_by_layer(self.metrics_delta)
 
     def __str__(self) -> str:
         return f"{self.mean_ms:.3f}±{self.std_ms:.3f} ms"
@@ -44,26 +71,52 @@ def measure(
     label: str = "",
     setup: Optional[Callable[[], object]] = None,
     warmup: int = 2,
+    capture_metrics: bool = False,
 ) -> Measurement:
-    """Time ``fn`` over ``trials`` runs (per-trial ``setup`` untimed)."""
+    """Time ``fn`` over ``trials`` runs (per-trial ``setup`` untimed).
+
+    ``capture_metrics=True`` enables :mod:`repro.obs` for the timed trials
+    (restoring its prior state afterwards) and attaches the metrics delta
+    the trials produced; setup and warmup work is excluded.
+    """
+    if trials < 1:
+        raise ReproError(f"measure({label!r}): trials must be >= 1, got {trials}")
     for _ in range(warmup):
         if setup is not None:
             setup()
         fn()
     samples: List[float] = []
+    delta: Optional[MetricsSnapshot] = None
+    obs_was_enabled = OBS.enabled
+    if capture_metrics and not obs_was_enabled:
+        OBS.enable()
     gc_was_enabled = gc.isenabled()
     gc.disable()  # keep collector pauses out of per-op samples
     try:
+        before = OBS.metrics.snapshot() if capture_metrics else None
         for _ in range(trials):
             if setup is not None:
-                setup()
+                if capture_metrics:
+                    # Setup work must not pollute the trial delta: gate the
+                    # instrumentation off for the untimed setup call.
+                    OBS.enabled = False
+                    try:
+                        setup()
+                    finally:
+                        OBS.enabled = True
+                else:
+                    setup()
             start = time.perf_counter()
             fn()
             samples.append((time.perf_counter() - start) * 1000.0)
+        if capture_metrics:
+            delta = OBS.metrics.snapshot() - before
     finally:
         if gc_was_enabled:
             gc.enable()
-    return Measurement(label=label, trials_ms=samples)
+        if capture_metrics and not obs_was_enabled:
+            OBS.disable()
+    return Measurement(label=label, trials_ms=samples, metrics_delta=delta)
 
 
 def overhead_pct(baseline: Measurement, treatment: Measurement) -> float:

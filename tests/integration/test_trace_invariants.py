@@ -1,0 +1,265 @@
+"""Security invariants re-checked from the trace stream.
+
+The Table 1 scenarios run with tracing on, and the invariant sweep then
+replays S1/S2 mechanically over the recorded spans: no span attributed to
+a delegate context ``B^A`` may ever carry a virtual path under another
+package's Priv, and no aufs open inside a delegate's tree may resolve its
+writable branch into a root keyed to a different initiator. This is the
+same property the integration suite asserts behaviourally, but checked
+against what the instrumented layers actually *did*, operation by
+operation — a tracing bug that misattributed work, or a mount-table bug
+that routed a delegate's write into a foreign branch, fails here even if
+the end-state assertions happen to pass.
+"""
+
+import pytest
+
+from repro.android.intents import Intent
+from repro.core.cow import initiator_key
+from repro.obs import OBS
+
+pytestmark = pytest.mark.trace
+
+EMAIL = "com.android.email"
+ADOBE = "com.adobe.reader"
+BROWSER = "com.android.browser"
+SCANNER = "com.google.zxing.client.android"
+CAMSCANNER = "com.intsig.camscanner"
+CAMERA = "com.magix.camera_mx"
+VPLAYER = "me.abitno.vplayer.t"
+DROPBOX = "com.dropbox.android"
+WRAPPER = "org.maxoid.wrapper"
+
+MARKER = b"MARKER-TRACE-sensitive"
+
+DATA_PREFIX = "/data/data/"
+PPRIV_SEGMENT = "ppriv"
+
+
+# ----------------------------------------------------------------------
+# Trace sweep machinery
+# ----------------------------------------------------------------------
+
+def spans_with_inherited_ctx(trees):
+    """Yield ``(node, ctx)`` for every span, with ``ctx`` taken from the
+    nearest ancestor-or-self span that recorded one (vfs and am spans tag
+    themselves; aufs/cow/sql spans inherit the caller's)."""
+    def walk(node, ctx):
+        ctx = node.span.attrs.get("ctx", ctx)
+        yield node, ctx
+        for child in node.children:
+            yield from walk(child, ctx)
+
+    for tree in trees:
+        yield from walk(tree, None)
+
+
+def parse_delegate_ctx(ctx):
+    """``"B^A"`` -> ``(B, A)``; ``None`` for non-delegate contexts."""
+    if ctx and "^" in ctx:
+        app, _, initiator = ctx.partition("^")
+        return app, initiator
+    return None
+
+
+def priv_owner(path):
+    """The package whose Priv a ``/data/data/...`` path falls under, with
+    pPriv paths resolved to the package segment after ``ppriv``."""
+    if not path.startswith(DATA_PREFIX):
+        return None
+    segments = [s for s in path[len(DATA_PREFIX):].split("/") if s]
+    if not segments:
+        return None
+    if segments[0] == PPRIV_SEGMENT:
+        return segments[1] if len(segments) > 1 else None
+    return segments[0]
+
+
+def foreign_keys(all_packages, delegate, initiator):
+    """Sanitized branch-directory keys of every package that is neither
+    the delegate nor its initiator."""
+    return {
+        initiator_key(pkg): pkg
+        for pkg in all_packages
+        if pkg not in (delegate, initiator)
+    }
+
+
+def writable_root_violations(node, ctx_pair, foreign):
+    """A delegate's writable branch root must never be keyed to another
+    package: neither a foreign per-app area (``/<key>/...``) nor a pair
+    area with a foreign initiator (``.../<x>@<key>/...``)."""
+    root = node.span.attrs.get("writable_root")
+    if not root:
+        return []
+    hits = []
+    for segment in root.strip("/").split("/"):
+        parts = segment.split("@") if "@" in segment else [segment]
+        for part in parts:
+            if part in foreign:
+                hits.append((root, foreign[part]))
+    return hits
+
+
+def sweep(trees, all_packages):
+    """Replay the S1/S2 confinement check over every recorded span.
+
+    Returns ``(violations, delegate_span_count)``; the count is the
+    positive control that the sweep actually saw confined work.
+    """
+    violations = []
+    delegate_spans = 0
+    for node, ctx in spans_with_inherited_ctx(trees):
+        pair = parse_delegate_ctx(ctx)
+        if pair is None or node.span.status != "ok":
+            continue
+        delegate_spans += 1
+        delegate, initiator = pair
+        owner = priv_owner(node.span.attrs.get("path", ""))
+        if owner is not None and owner not in (delegate, initiator):
+            violations.append(
+                f"{node.name} in ctx {ctx} touched Priv({owner}): "
+                f"{node.span.attrs['path']}"
+            )
+        for root, pkg in writable_root_violations(
+            node, pair, foreign_keys(all_packages, delegate, initiator)
+        ):
+            violations.append(
+                f"{node.name} in ctx {ctx} writes into a branch keyed to "
+                f"{pkg}: {root}"
+            )
+    return violations, delegate_spans
+
+
+# ----------------------------------------------------------------------
+# Scenarios (the Maxoid half of the Table 1 matrix, traced)
+# ----------------------------------------------------------------------
+
+def run_table1_delegates(env):
+    """Drive every delegate scenario from the Table 1 suite."""
+    # Row 1: document viewer as Email's delegate.
+    email = env.spawn(EMAIL)
+    attachment_id = env.apps[EMAIL].receive_attachment(
+        email, "doc.pdf", b"%PDF " + MARKER
+    )
+    env.apps[EMAIL].view_attachment(email, attachment_id)
+    # Row 2: barcode scanner as the Browser's delegate.
+    env.launch_as_delegate(
+        SCANNER,
+        BROWSER,
+        Intent(Intent.ACTION_SCAN, extras={"qr_payload": "secret-url.example"}),
+    )
+    # Row 2b: CamScanner as Email's delegate.
+    delegate = env.spawn(CAMSCANNER, initiator=EMAIL)
+    env.apps[CAMSCANNER].main(
+        delegate,
+        Intent(
+            Intent.ACTION_SCAN,
+            extras={
+                "path": "/data/data/%s/attachments/%d/page.jpg" % (EMAIL, attachment_id)
+            },
+        ),
+    )
+    # Row 3: camera app as Dropbox's delegate.
+    env.launch_as_delegate(
+        CAMERA,
+        DROPBOX,
+        Intent(Intent.ACTION_IMAGE_CAPTURE, extras={"frame": MARKER}),
+    )
+    # Row 4: media player as the wrapper's delegate.
+    wrapper = env.spawn(WRAPPER)
+    env.apps[WRAPPER].add_document(wrapper, "home.mp4", MARKER)
+    player = env.spawn(VPLAYER, initiator=WRAPPER)
+    env.apps[VPLAYER].main(
+        player,
+        Intent(
+            Intent.ACTION_VIEW,
+            extras={"path": "/storage/sdcard/wrapper-vault/home.mp4"},
+        ),
+    )
+
+
+@pytest.fixture
+def table1_trace(loaded_device):
+    """All Table 1 delegate scenarios executed under one capture."""
+    # CamScanner needs the attachment image staged before it is spawned
+    # confined; receive_attachment handles that inside the capture.
+    with OBS.capture(ring_capacity=65536) as obs:
+        run_table1_delegates(loaded_device)
+        trees = obs.trees()
+        assert obs.tracer.ring.dropped == 0, "ring too small for the sweep"
+    return loaded_device, trees
+
+
+# ----------------------------------------------------------------------
+# Invariant tests
+# ----------------------------------------------------------------------
+
+def test_no_delegate_span_touches_a_foreign_priv(table1_trace):
+    env, trees = table1_trace
+    violations, delegate_spans = sweep(trees, list(env.apps))
+    assert delegate_spans > 50, (
+        "positive control failed: the sweep saw almost no delegate-"
+        "attributed spans, so the invariant was checked against nothing"
+    )
+    assert not violations, "\n".join(violations)
+
+
+def test_sweep_covers_every_scenarios_delegate_context(table1_trace):
+    """Each Table 1 delegate pair must appear in the trace, so a scenario
+    silently running unconfined (ctx ``B`` instead of ``B^A``) fails."""
+    env, trees = table1_trace
+    seen = {
+        ctx
+        for _, ctx in spans_with_inherited_ctx(trees)
+        if ctx and "^" in ctx
+    }
+    expected = {
+        f"{ADOBE}^{EMAIL}",
+        f"{SCANNER}^{BROWSER}",
+        f"{CAMSCANNER}^{EMAIL}",
+        f"{CAMERA}^{DROPBOX}",
+        f"{VPLAYER}^{WRAPPER}",
+    }
+    assert expected <= seen, f"missing delegate contexts: {expected - seen}"
+
+
+def test_sweep_detects_a_planted_violation(loaded_device):
+    """The sweep itself must be able to fail: a hand-built span tree in
+    which a delegate touches another package's Priv is flagged."""
+    with OBS.capture() as obs:
+        with OBS.tracer.span(
+            "vfs.read",
+            ctx=f"{ADOBE}^{EMAIL}",
+            path=f"/data/data/{DROPBOX}/databases/secrets.db",
+        ):
+            pass
+        trees = obs.trees()
+    violations, _ = sweep(trees, list(loaded_device.apps))
+    assert len(violations) == 1 and DROPBOX in violations[0]
+
+
+def test_delegate_writable_roots_stay_in_the_pair_or_initiator_area(table1_trace):
+    """Every writable branch observed under a delegate context resolves to
+    the ``B@A`` pair area or the initiator's volatile area — never to a
+    bare foreign package root."""
+    env, trees = table1_trace
+    checked = 0
+    for node, ctx in spans_with_inherited_ctx(trees):
+        pair = parse_delegate_ctx(ctx)
+        root = node.span.attrs.get("writable_root")
+        if pair is None or not root or node.span.status != "ok":
+            continue
+        checked += 1
+        delegate, initiator = pair
+        allowed = {
+            initiator_key(delegate),
+            initiator_key(initiator),
+            f"{initiator_key(delegate)}@{initiator_key(initiator)}",
+        }
+        first = root.strip("/").split("/")[0]
+        assert first in allowed or root.startswith(DATA_PREFIX), (
+            f"{node.name} in ctx {ctx} has writable root {root}, outside "
+            f"the pair/initiator areas {sorted(allowed)}"
+        )
+    assert checked > 10, "positive control: no writable-branch spans swept"

@@ -1,0 +1,160 @@
+"""Property-based tests for the metrics registry and snapshot algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_MS_BUCKETS,
+    Metrics,
+    MetricError,
+    diff,
+)
+
+pytestmark = pytest.mark.trace
+
+# One registry mutation: (kind, metric name, value).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["count", "gauge", "observe"]),
+        st.sampled_from(["vfs.open", "aufs.copy_up", "cow.query", "sql.ms"]),
+        st.one_of(
+            st.integers(min_value=0, max_value=1000),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        ),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(metrics, batch):
+    for kind, name, value in batch:
+        if kind == "count":
+            metrics.count("c." + name, int(value))
+        elif kind == "gauge":
+            metrics.gauge("g." + name).set(value)
+        else:
+            metrics.observe("h." + name, value)
+
+
+class TestCounters:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
+    def test_counter_is_sum_of_increments(self, increments):
+        metrics = Metrics()
+        for n in increments:
+            metrics.count("vfs.open", n)
+        assert metrics.counter("vfs.open").value == sum(increments)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_counter_never_decreases(self, increments):
+        counter = Metrics().counter("aufs.copy_up")
+        previous = counter.value
+        for n in increments:
+            counter.inc(n)
+            assert counter.value >= previous
+            previous = counter.value
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricError):
+            Metrics().count("vfs.open", -1)
+
+
+class TestHistograms:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e7, allow_nan=False), max_size=200))
+    def test_bucket_counts_sum_to_total(self, values):
+        metrics = Metrics()
+        for v in values:
+            metrics.observe("lat", v, DEFAULT_MS_BUCKETS)
+        hist = metrics.histogram("lat", DEFAULT_MS_BUCKETS)
+        assert sum(hist.counts) == hist.count == len(values)
+        assert hist.total == pytest.approx(sum(values))
+
+    @given(st.floats(min_value=0.0, max_value=2e6, allow_nan=False))
+    def test_observation_lands_in_the_right_bucket(self, value):
+        metrics = Metrics()
+        metrics.observe("size", value, DEFAULT_BYTE_BUCKETS)
+        hist = metrics.histogram("size", DEFAULT_BYTE_BUCKETS)
+        (index,) = [i for i, c in enumerate(hist.counts) if c]
+        edges = hist.boundaries
+        lower = edges[index - 1] if index > 0 else float("-inf")
+        upper = edges[index] if index < len(edges) else float("inf")
+        assert lower < value <= upper or (value == 0 and index == 0)
+
+    def test_boundary_mismatch_rejected(self):
+        metrics = Metrics()
+        metrics.histogram("h", (1.0, 2.0))
+        with pytest.raises(MetricError):
+            metrics.histogram("h", (1.0, 3.0))
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(MetricError):
+            Metrics().histogram("h", (2.0, 1.0))
+
+
+class TestSnapshotAlgebra:
+    @settings(max_examples=50)
+    @given(ops, ops, ops)
+    def test_diff_is_additive_along_a_timeline(self, batch1, batch2, batch3):
+        """diff(a,b) + diff(b,c) == diff(a,c) for snapshots a, b, c taken
+        at successive points of one registry's life."""
+        metrics = Metrics()
+        apply_ops(metrics, batch1)
+        a = metrics.snapshot()
+        apply_ops(metrics, batch2)
+        b = metrics.snapshot()
+        apply_ops(metrics, batch3)
+        c = metrics.snapshot()
+        chained = diff(a, b) + diff(b, c)
+        direct = diff(a, c)
+        assert chained.counters == direct.counters
+        assert chained.histograms.keys() == direct.histograms.keys()
+        for name in direct.histograms:
+            assert chained.histograms[name].counts == direct.histograms[name].counts
+            assert chained.histograms[name].count == direct.histograms[name].count
+            assert chained.histograms[name].total == pytest.approx(
+                direct.histograms[name].total
+            )
+
+    @settings(max_examples=50)
+    @given(ops)
+    def test_diff_of_a_snapshot_with_itself_is_zero(self, batch):
+        metrics = Metrics()
+        apply_ops(metrics, batch)
+        snap = metrics.snapshot()
+        zero = diff(snap, snap)
+        assert zero.nonzero().counters == {}
+        assert zero.nonzero().gauges == {}
+        assert zero.nonzero().histograms == {}
+
+    @settings(max_examples=50)
+    @given(ops, ops)
+    def test_add_sub_round_trip(self, batch1, batch2):
+        metrics = Metrics()
+        apply_ops(metrics, batch1)
+        a = metrics.snapshot()
+        apply_ops(metrics, batch2)
+        b = metrics.snapshot()
+        restored = a + (b - a)
+        assert restored.counters == b.counters
+        assert restored.gauges == pytest.approx(b.gauges)
+
+    @settings(max_examples=50)
+    @given(ops)
+    def test_counters_in_diff_are_never_negative_over_time(self, batch):
+        """Monotone counters mean a later-minus-earlier diff is >= 0."""
+        metrics = Metrics()
+        a = metrics.snapshot()
+        apply_ops(metrics, batch)
+        b = metrics.snapshot()
+        assert all(v >= 0 for v in diff(a, b).counters.values())
+
+    def test_diff_handles_metrics_created_between_snapshots(self):
+        metrics = Metrics()
+        a = metrics.snapshot()
+        metrics.count("vfs.open", 3)
+        metrics.observe("lat", 0.5)
+        b = metrics.snapshot()
+        delta = diff(a, b)
+        assert delta.counter("vfs.open") == 3
+        assert delta.histograms["lat"].count == 1
