@@ -36,6 +36,16 @@ def pytest_addoption(parser):
         help="dump one JSONL trace file per benchmark using the obs_capture "
         "fixture into DIR (created if missing)",
     )
+    parser.addoption(
+        "--faults-seed",
+        action="store",
+        default=None,
+        type=int,
+        metavar="SEED",
+        help="arm probabilistic fault injection (via the chaos_faults "
+        "fixture) with this seed; the same seed reproduces the same fault "
+        "schedule byte-for-byte",
+    )
 
 
 class _NopApp:
@@ -97,6 +107,34 @@ def obs_capture(request):
         if spans:
             print()
             print(format_breakdown(spans, title=request.node.name))
+
+
+@pytest.fixture
+def chaos_faults(request):
+    """Seeded chaos for one benchmark (no-op without ``--faults-seed``).
+
+    With ``--faults-seed SEED``, every registered fault point is armed
+    with a low-probability error policy derived from SEED; the benchmark
+    then measures the system under fault load, and the schedule it prints
+    is reproducible by re-running with the same SEED. Yields the fault
+    plane (disabled when the option is absent).
+    """
+    from repro.workloads.harness import arm_chaos
+
+    seed = request.config.getoption("--faults-seed")
+    if seed is None:
+        from repro.faults import FAULTS
+
+        yield FAULTS
+        return
+    with arm_chaos(seed) as plane:
+        yield plane
+        if plane.injection_log:
+            print()
+            print(
+                f"chaos seed {seed}: {len(plane.injection_log)} faults over "
+                f"{len(plane.schedule)} consults"
+            )
 
 
 @pytest.fixture

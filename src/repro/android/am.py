@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ActivityNotFound
+from repro.errors import ActivityNotFound, NoSuchProcess
 from repro.android.intents import Intent, IntentFilter
+from repro.faults import FAULTS as _FAULTS
 from repro.android.packages import PackageManager
 from repro.android.zygote import Zygote
 from repro.kernel.binder import BinderDriver, Transaction
@@ -59,6 +60,9 @@ class ActivityManagerService:
         self._handlers: Dict[str, AppHandler] = {}
         self._broadcast_receivers: List[Tuple[IntentFilter, Process, AppHandler]] = []
         self.invocation_log: List[str] = []
+        # Pids forked but not yet fully registered (endpoint + guard). A
+        # crash inside that window strands the process; recover() reaps it.
+        self._in_flight: set = set()
         binder.register("activity_manager", self._handle_binder, is_system=True)
 
     def _handle_binder(self, transaction: Transaction) -> Any:
@@ -160,12 +164,22 @@ class ActivityManagerService:
             initiator = None  # an app invoked by itself runs normally
         self._kill_conflicting(target, initiator)
         process = self._zygote.fork_app(target, initiator)
+        self._in_flight.add(process.pid)
+        if _FAULTS.enabled:
+            _FAULTS.hit(
+                "am.delegate_bookkeeping",
+                target=target,
+                initiator=initiator,
+                pid=process.pid,
+            )
         endpoint_name = f"app:{process.pid}"
         self._binder.register(
-            endpoint_name, lambda txn: None, owner=target, is_system=False
+            endpoint_name, lambda txn: None, owner=target, is_system=False,
+            pid=process.pid,
         )
         if self._guard is not None:
             self._guard.register_instance(endpoint_name, process.context)
+        self._in_flight.discard(process.pid)
         self.invocation_log.append(f"{caller.context} -> {process.context}: {intent.action}")
         handler = self.handler_for(target)
         try:
@@ -173,6 +187,30 @@ class ActivityManagerService:
         finally:
             pass  # the process stays alive until killed or replaced
         return Invocation(target=target, process=process, result=result)
+
+    def reap_orphans(self) -> List[int]:
+        """Kill processes stranded mid-bookkeeping by a crash.
+
+        A crash between ``fork_app`` and endpoint/guard registration leaves
+        a live process no component can reach (no Binder endpoint, no guard
+        instance). Recovery kills it and tears down whatever half of its
+        bookkeeping did land. Returns the reaped pids.
+        """
+        reaped: List[int] = []
+        for pid in sorted(self._in_flight):
+            endpoint_name = f"app:{pid}"
+            try:
+                process = self._processes.get(pid)
+            except NoSuchProcess:
+                process = None
+            if process is not None:
+                process.kill()
+                reaped.append(pid)
+            self._binder.unregister(endpoint_name)
+            if self._guard is not None:
+                self._guard.unregister_instance(endpoint_name)
+        self._in_flight.clear()
+        return reaped
 
     # ------------------------------------------------------------------
     # Broadcasts

@@ -67,7 +67,9 @@ class AppApi:
 
     @property
     def volatile(self) -> VolatileFiles:
-        return VolatileFiles(self.process)
+        return VolatileFiles(
+            self.process, journal=getattr(self.device, "commit_journal", None)
+        )
 
     def clear_my_volatile(self) -> int:
         """Discard Vol(self) via the Maxoid system service."""

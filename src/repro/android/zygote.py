@@ -20,6 +20,7 @@ from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.kernel.sysfs import Sysfs
 from repro.kernel.vfs import Credentials, ROOT_CRED
 from repro.android.packages import PackageManager
+from repro.faults import FAULTS as _FAULTS
 from repro.obs import OBS as _OBS
 
 # Hook signature: (package, initiator-or-None) -> the process's namespace.
@@ -59,6 +60,9 @@ class Zygote:
         return self._fork_app_impl(package, initiator)
 
     def _fork_app_impl(self, package: str, initiator: Optional[str]) -> Process:
+        if _FAULTS.enabled:
+            # Before any mutation: a failed fork leaves no process behind.
+            _FAULTS.hit("zygote.fork", app=package, initiator=initiator)
         installed = self._packages.get(package)
         if not self._maxoid_enabled:
             initiator = None

@@ -239,3 +239,85 @@ def figure1_flow_matrix(device: Any, initiator_pkg: str, delegate_pkg: str) -> L
     )
     checks.append(FlowCheck("X reads Vol(A)", expected=False, observed=x_reads_vol))
     return checks
+
+
+# ---------------------------------------------------------------------------
+# Post-mortem audit log (fault injection & recovery)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AuditEvent:
+    """One audited event: an injected fault or a recovery action."""
+
+    seq: int
+    category: str  # "fault" or "recovery"
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+        return f"[{self.seq:04d}] {self.category}: {self.message}" + (
+            f" ({detail})" if detail else ""
+        )
+
+
+class AuditLog:
+    """Device-wide record of injected faults and recovery actions.
+
+    A crash-sweep post-mortem reads this to see *why* a run failed: which
+    fault point fired (with its call-site context), and what every
+    recovery step subsequently did — journals replayed or rolled back,
+    orphans reaped, namespaces rebuilt, sweep verdicts.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[AuditEvent] = []
+        self._seq = 0
+        # Fault-plane sequence numbers already ingested, so repeated
+        # recover() calls don't duplicate injection records.
+        self._ingested: set = set()
+
+    def record(self, category: str, message: str, **details: Any) -> AuditEvent:
+        self._seq += 1
+        event = AuditEvent(
+            seq=self._seq, category=category, message=message, details=details
+        )
+        self._events.append(event)
+        return event
+
+    def ingest_faults(self, plane: Any) -> int:
+        """Copy new entries from a fault plane's injection log; returns how
+        many were added (already-seen entries are skipped)."""
+        added = 0
+        for entry in plane.injection_log:
+            key = entry.get("seq")
+            if key in self._ingested:
+                continue
+            self._ingested.add(key)
+            self.record(
+                "fault",
+                f"{entry['outcome']} at {entry['point']} (hit #{entry['hit']})",
+                point=entry["point"],
+                policy=entry.get("policy", ""),
+                **entry.get("ctx", {}),
+            )
+            added += 1
+        return added
+
+    def events(self, category: Optional[str] = None) -> List[AuditEvent]:
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def render(self) -> str:
+        """The post-mortem trace, one line per event."""
+        return "\n".join(event.render() for event in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+        self._ingested.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

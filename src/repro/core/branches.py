@@ -27,7 +27,7 @@ from repro.core.context import delegate_key
 from repro.core.cow import initiator_key
 from repro.core.views import BranchSpec, MountPlan
 from repro.kernel import path as vpath
-from repro.kernel.aufs import AufsMount, Branch
+from repro.kernel.aufs import AufsMount, Branch, purge_copyup_temps
 from repro.kernel.mounts import MountNamespace
 from repro.kernel.vfs import Filesystem, ROOT_CRED
 
@@ -227,6 +227,21 @@ class BranchManager:
         for key in keys:
             del self._fork_stamps[key]
         return cleared
+
+    def purge_copyup_temps(self) -> List[str]:
+        """Remove crash-orphaned copy-up staging files from every branch
+        backing store (``Device.recover()`` step). Returns removed paths."""
+        removed: List[str] = []
+        for fs in (
+            self.pub_fs,
+            self.extpriv_fs,
+            self.vol_fs,
+            self.deleg_fs,
+            self.ppriv_fs,
+            self.system_fs,
+        ):
+            removed.extend(purge_copyup_temps(fs))
+        return removed
 
     @staticmethod
     def _clear_tree(fs: Filesystem, root: str) -> None:

@@ -33,12 +33,15 @@ projection with the ORDER BY columns and strips them from the result.
 
 from __future__ import annotations
 
+import base64
 import copy
+import json
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SqlNameError
+from repro.faults import FAULTS as _FAULTS
 from repro.minisql import Database
 from repro.minisql import ast_nodes as ast
 from repro.minisql.engine import ResultSet
@@ -48,6 +51,30 @@ from repro.obs import OBS as _OBS
 #: Primary keys allocated for delegate inserts start here (paper: "the
 #: delta table's primary key starts at a large number N").
 VOLATILE_PK_BASE = 10_000_001
+
+#: The proxy's commit intent journal (WAL). Rows describe selective
+#: commits that have been decided but not yet fully applied to the primary
+#: table; ``recover()`` replays sealed rows and rolls back unsealed ones.
+JOURNAL_TABLE = "_maxoid_journal"
+
+
+def _encode_payload(record: Dict[str, object]) -> str:
+    """JSON-encode a row for the journal; bytes round-trip via base64."""
+    def enc(value):
+        if isinstance(value, bytes):
+            return {"__bytes__": base64.b64encode(value).decode("ascii")}
+        return value
+
+    return json.dumps({k: enc(v) for k, v in record.items()})
+
+
+def _decode_payload(text: str) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for key, value in json.loads(text).items():
+        if isinstance(value, dict) and "__bytes__" in value:
+            value = base64.b64decode(value["__bytes__"])
+        out[key] = value
+    return out
 
 
 def initiator_key(initiator: str) -> str:
@@ -556,26 +583,156 @@ class CowProxy:
     def _commit_volatile_impl(self, name: str, initiator: str, row_id: int) -> bool:
         if not self.has_delta(name, initiator):
             return False
+        if _FAULTS.enabled:
+            _FAULTS.hit(
+                "cow.delta_commit", table=name, initiator=initiator, row_id=row_id
+            )
+        entry = self._journal_commit_intent(name, initiator, row_id, sealed=1)
+        if entry is None:
+            return False
+        self._apply_commit_entries([entry])
+        return True
+
+    def commit_volatile_batch(
+        self, name: str, initiator: str, row_ids: Sequence[int]
+    ) -> int:
+        """Commit several volatile records all-or-nothing.
+
+        Two-phase: every row is journaled unsealed, one statement seals the
+        batch (the atomic commit point), then the rows are applied and the
+        journal truncated. A crash before the seal rolls the whole batch
+        back on recovery; after it, recovery replays every row — never a
+        partial batch. Returns rows committed.
+        """
+        if not self.has_delta(name, initiator):
+            return 0
+        if _FAULTS.enabled:
+            _FAULTS.hit(
+                "cow.delta_commit", table=name, initiator=initiator, rows=len(row_ids)
+            )
+        entries = []
+        for row_id in row_ids:
+            entry = self._journal_commit_intent(name, initiator, row_id, sealed=0)
+            if entry is not None:
+                entries.append(entry)
+        if not entries:
+            return 0
+        jids = ", ".join("?" for _ in entries)
+        self.db.execute(
+            f"UPDATE {JOURNAL_TABLE} SET sealed = 1 WHERE jid IN ({jids})",
+            [entry["jid"] for entry in entries],
+        )
+        self._apply_commit_entries(entries)
+        if _OBS.enabled:
+            _OBS.metrics.count("cow.commits", len(entries))
+        return len(entries)
+
+    # -- journal plumbing ------------------------------------------------
+
+    def _ensure_journal(self) -> None:
+        if not self.db.has_table(JOURNAL_TABLE):
+            self.db.execute(
+                f"CREATE TABLE {JOURNAL_TABLE} ("
+                "jid INTEGER PRIMARY KEY, tbl TEXT, initiator TEXT, "
+                "delta_pk INTEGER, public_pk INTEGER, sealed INTEGER, "
+                "payload TEXT)"
+            )
+
+    def _allocate_public_pk(self, primary: _PrimaryTable) -> int:
+        """Pre-allocate the public key a delegate-created row commits under.
+
+        Allocated at journal-write time — not at apply time — and recorded
+        in the intent, so replaying the entry after a crash reuses the same
+        key instead of minting a duplicate row. Pending journal entries for
+        the table count as allocated.
+        """
+        top = int(
+            self.db.execute(f"SELECT MAX({primary.pk}) FROM {primary.name}").scalar()
+            or 0
+        )
+        pending = int(
+            self.db.execute(
+                f"SELECT MAX(public_pk) FROM {JOURNAL_TABLE} WHERE tbl = ?",
+                [primary.name],
+            ).scalar()
+            or 0
+        )
+        return max(top, pending) + 1
+
+    def _journal_commit_intent(
+        self, name: str, initiator: str, row_id: int, sealed: int
+    ) -> Optional[Dict[str, object]]:
+        """Write one commit intent; returns the in-memory entry or None."""
+        self._ensure_journal()
         delta = self.delta_name(name, initiator)
         primary = self._tables[name.lower()]
         row = self.db.execute(
             f"SELECT * FROM {delta} WHERE {primary.pk} = ? AND _whiteout = 0", [row_id]
         )
         if not row.rows:
-            return False
+            return None
         record = dict(zip([c.lower() for c in row.columns], row.rows[0]))
         record.pop("_whiteout", None)
         if row_id >= VOLATILE_PK_BASE:
             # A row the delegate created: give it a fresh public key.
-            record.pop(primary.pk, None)
+            record[primary.pk] = self._allocate_public_pk(primary)
+        result = self.db.execute(
+            f"INSERT INTO {JOURNAL_TABLE} "
+            "(tbl, initiator, delta_pk, public_pk, sealed, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                primary.name,
+                initiator,
+                row_id,
+                record[primary.pk],
+                sealed,
+                _encode_payload(record),
+            ],
+        )
+        return {"jid": result.lastrowid, "tbl": primary.name, "record": record}
+
+    def _apply_record(self, table: str, record: Dict[str, object]) -> None:
         columns = list(record)
         placeholders = ", ".join("?" for _ in columns)
         self.db.execute(
-            f"INSERT OR REPLACE INTO {primary.name} ({', '.join(columns)}) "
+            f"INSERT OR REPLACE INTO {table} ({', '.join(columns)}) "
             f"VALUES ({placeholders})",
             [record[c] for c in columns],
         )
-        return True
+
+    def _apply_commit_entries(self, entries: List[Dict[str, object]]) -> None:
+        for entry in entries:
+            if _FAULTS.enabled:
+                _FAULTS.hit("cow.delta_commit.apply", table=entry["tbl"])
+            self._apply_record(entry["tbl"], entry["record"])
+            if _FAULTS.enabled:
+                _FAULTS.hit("cow.delta_commit.truncate", table=entry["tbl"])
+            self.db.execute(
+                f"DELETE FROM {JOURNAL_TABLE} WHERE jid = ?", [entry["jid"]]
+            )
+
+    def recover(self) -> Tuple[int, int]:
+        """Finish or undo commits interrupted by a crash.
+
+        Unsealed journal rows (a batch that never reached its commit point)
+        are rolled back; sealed rows are replayed — idempotently, since the
+        intent carries the pre-allocated public key and the apply is an
+        ``INSERT OR REPLACE``. Returns ``(replayed, rolled_back)``.
+        """
+        if not self.db.has_table(JOURNAL_TABLE):
+            return (0, 0)
+        rolled_back = self.db.execute(
+            f"DELETE FROM {JOURNAL_TABLE} WHERE sealed = 0"
+        ).rowcount
+        pending = self.db.execute(
+            f"SELECT jid, tbl, payload FROM {JOURNAL_TABLE} ORDER BY jid"
+        )
+        replayed = 0
+        for jid, tbl, payload in pending.rows:
+            self._apply_record(tbl, _decode_payload(payload))
+            self.db.execute(f"DELETE FROM {JOURNAL_TABLE} WHERE jid = ?", [jid])
+            replayed += 1
+        return (replayed, rolled_back)
 
     def discard_volatile(self, name: str, initiator: str) -> int:
         """Drop all of ``initiator``'s volatile records for ``name``

@@ -11,7 +11,8 @@ hooks, a single shared view of everything.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.android.am import ActivityManagerService, Invocation
 from repro.android.app_api import AppApi
@@ -33,11 +34,16 @@ from repro.android.services import (
 )
 from repro.android.storage import EXTDIR
 from repro.android.zygote import Zygote
+from repro.core.audit import AuditLog
 from repro.core.branches import BranchManager
 from repro.core.ipc_guard import IpcGuard
+from repro.core.journal import CommitJournal
 from repro.core.manifest import MaxoidManifest
 from repro.core.views import plan_delegate_mounts, plan_initiator_mounts
 from repro.core.volatile import MaxoidSystemService
+from repro.errors import ReproError
+from repro.faults import FAULTS
+from repro.kernel import path as vpath
 from repro.kernel.binder import BinderDriver
 from repro.kernel.mounts import MountNamespace
 from repro.kernel.network import NetworkStack
@@ -45,6 +51,28 @@ from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.kernel.syscall import Syscalls
 from repro.kernel.sysfs import Sysfs
 from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
+from repro.obs import OBS
+from repro.obs.sweep import sweep as trace_sweep
+
+
+@dataclass
+class RecoveryReport:
+    """What ``Device.recover()`` found and repaired after a crash."""
+
+    file_commits_replayed: int = 0
+    file_commits_rolled_back: int = 0
+    cow_rows_replayed: int = 0
+    cow_rows_rolled_back: int = 0
+    copyup_temps_removed: List[str] = field(default_factory=list)
+    orphans_reaped: List[int] = field(default_factory=list)
+    namespaces_rebuilt: int = 0
+    sweep_violations: List[str] = field(default_factory=list)
+    sweep_spans_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when validation found no security-goal violation."""
+        return not self.sweep_violations
 
 
 class Device:
@@ -57,8 +85,11 @@ class Device:
         self.processes = ProcessTable()
         self.sysfs = Sysfs(self.processes)
         self.binder = BinderDriver()
+        self.binder.attach_process_table(self.processes)
         self.network = NetworkStack()
         self.branches = BranchManager(self.system_fs)
+        self.audit_log = AuditLog()
+        self.commit_journal = CommitJournal(self.system_fs)
         # -- namespaces -------------------------------------------------------
         # Every app sees the system fs at / and public external storage at
         # EXTDIR; the system process additionally sees the volatile forest.
@@ -214,6 +245,132 @@ class Device:
         for process in self.processes.instances_of_initiator(package):
             process.kill()
         return count
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def recover(
+        self, *, validate: bool = True, disarm_faults: bool = True
+    ) -> RecoveryReport:
+        """Bring the device back to a consistent state after a crash.
+
+        The simulated analogue of Android's boot-time fsck + journal
+        replay: roll forward or back every interrupted multi-step
+        mutation, reap processes stranded mid-bookkeeping, rebuild app
+        mount namespaces from their installed state, and (with
+        ``validate=True``) re-check the S1/S2 confinement goals over a
+        freshly traced probe workload. Every action lands in
+        ``self.audit_log`` for the post-mortem.
+        """
+        report = RecoveryReport()
+        if disarm_faults:
+            FAULTS.disarm()
+        self.audit_log.ingest_faults(FAULTS)
+        # 1. Volatile file commits: replay complete intents, roll back torn.
+        for entry_path, intent in self.commit_journal.pending():
+            if intent is None:
+                self.commit_journal.truncate(entry_path)
+                report.file_commits_rolled_back += 1
+                self.audit_log.record(
+                    "recovery", "rolled back torn commit intent", entry=entry_path
+                )
+                continue
+            self._replay_file_commit(intent)
+            self.commit_journal.truncate(entry_path)
+            report.file_commits_replayed += 1
+            self.audit_log.record(
+                "recovery",
+                "replayed file commit",
+                package=intent.package,
+                destination=intent.destination,
+            )
+        # 2. COW proxy commit journals.
+        for provider in (self.user_dictionary, self.media, self.downloads, self.contacts):
+            replayed, rolled_back = provider.proxy.recover()
+            report.cow_rows_replayed += replayed
+            report.cow_rows_rolled_back += rolled_back
+            if replayed or rolled_back:
+                self.audit_log.record(
+                    "recovery",
+                    "recovered COW commit journal",
+                    provider=provider.authority,
+                    replayed=replayed,
+                    rolled_back=rolled_back,
+                )
+        # 3. Orphaned copy-up staging files (invisible but occupying space).
+        report.copyup_temps_removed = self.branches.purge_copyup_temps()
+        for path in report.copyup_temps_removed:
+            self.audit_log.record("recovery", "purged copy-up temp", path=path)
+        # 4. Processes stranded between fork and AM bookkeeping.
+        report.orphans_reaped = self.am.reap_orphans()
+        for pid in report.orphans_reaped:
+            self.audit_log.record("recovery", "reaped orphaned delegate", pid=pid)
+        # 5. Rebuild every live app process's mount namespace from its
+        # installed state (a crashed mount-table mutation leaves no trace).
+        for process in self.processes.alive():
+            if process.context.app is None:
+                continue
+            process.namespace = self._build_namespace(
+                process.context.app, process.context.initiator
+            )
+            report.namespaces_rebuilt += 1
+        if report.namespaces_rebuilt:
+            self.audit_log.record(
+                "recovery", "rebuilt mount namespaces", count=report.namespaces_rebuilt
+            )
+        # 6. Re-validate the security goals over a traced probe workload.
+        if validate:
+            report.sweep_violations, report.sweep_spans_checked = (
+                self._validation_sweep()
+            )
+            self.audit_log.record(
+                "recovery",
+                "validation sweep",
+                violations=len(report.sweep_violations),
+                spans=report.sweep_spans_checked,
+            )
+        return report
+
+    def _replay_file_commit(self, intent) -> None:
+        """Finish an interrupted volatile file commit (idempotent: same
+        destination, same bytes, resolved through the initiator's view)."""
+        namespace = self._build_namespace(intent.package, None)
+        cred = Credentials(uid=intent.uid, gid=intent.gid)
+        fs, inner = namespace.resolve(intent.destination)
+        parent = vpath.parent(inner)
+        if not fs.exists(parent, cred):
+            fs.mkdir(parent, cred, parents=True)
+        with fs.open(
+            inner, cred, read=False, write=True, create=True, truncate=True
+        ) as handle:
+            handle.write(intent.data)
+
+    def _validation_sweep(self) -> Tuple[List[str], int]:
+        """Probe every live app process's view under tracing, then replay
+        the S1/S2 sweep over what the instrumented layers actually did.
+
+        Note: runs inside ``OBS.capture``, which resets the global tracer —
+        callers should not invoke ``recover(validate=True)`` while holding
+        an open capture of their own.
+        """
+        with OBS.capture(ring_capacity=32768) as obs:
+            for process in list(self.processes.alive()):
+                if process.context.app is None:
+                    continue
+                sys = Syscalls(process)
+                probe = vpath.join(EXTDIR, f".maxoid-probe-{process.pid}")
+                try:
+                    sys.write_file(probe, b"probe", mode=0o666)
+                    sys.read_file(probe)
+                    sys.unlink(probe)
+                except ReproError:
+                    # A view that denies the probe is a confinement success,
+                    # not a recovery failure.
+                    continue
+            trees = obs.trees()
+        packages = [p.manifest.package for p in self.packages.all_packages()]
+        return trace_sweep(trees, packages)
 
     # ------------------------------------------------------------------
     # Background work pumps

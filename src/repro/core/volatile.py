@@ -21,11 +21,13 @@ from typing import List, Optional
 
 from repro.android.storage import DATA_ROOT, EXTDIR
 from repro.errors import FileNotFound, IpcDenied
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel import path as vpath
 from repro.kernel.binder import BinderDriver, Transaction
 from repro.kernel.proc import Process
 from repro.kernel.syscall import Syscalls
 from repro.core.branches import BranchManager
+from repro.core.journal import CommitJournal
 from repro.obs import OBS as _OBS
 
 EXT_TMP = vpath.join(EXTDIR, "tmp")
@@ -36,12 +38,17 @@ MAXOID_SERVICE = "maxoid"
 class VolatileFiles:
     """An initiator's window onto its volatile file state."""
 
-    def __init__(self, process: Process) -> None:
+    def __init__(
+        self, process: Process, journal: Optional[CommitJournal] = None
+    ) -> None:
         if process.context.is_delegate:
             raise IpcDenied("delegates have no volatile state of their own")
         self._process = process
         self._sys = Syscalls(process)
         self._package = process.context.app
+        # The device-wide commit WAL; without one (bare construction in
+        # unit tests) commits fall back to the direct, non-journaled copy.
+        self._journal = journal
 
     @property
     def ext_tmp(self) -> str:
@@ -97,9 +104,33 @@ class VolatileFiles:
             destination = vpath.join(DATA_ROOT, self._package or "", rel)
         else:
             raise FileNotFound(f"{tmp_path} is not a volatile path")
+        if _FAULTS.enabled:
+            _FAULTS.hit("vol.commit", initiator=self._package, path=tmp_path)
         data = self._sys.read_file(tmp_path)
+        # Crash-atomic commit: journal the intent (payload included), then
+        # apply, then truncate. After any crash, recovery either replays
+        # the complete intent or rolls back a torn one — the destination is
+        # never left half-written without a journal entry covering it.
+        entry = None
+        if self._journal is not None:
+            entry = self._journal.begin(
+                package=self._package or "",
+                source=tmp_path,
+                destination=destination,
+                data=data,
+                uid=self._process.cred.uid,
+                gid=self._process.cred.gid,
+            )
+        if _FAULTS.enabled:
+            _FAULTS.hit("vol.commit.apply", initiator=self._package, path=destination)
         self._sys.makedirs(vpath.parent(destination))
         self._sys.write_file(destination, data)
+        if _FAULTS.enabled:
+            _FAULTS.hit(
+                "vol.commit.truncate", initiator=self._package, path=destination
+            )
+        if entry is not None:
+            self._journal.truncate(entry)
         return destination
 
 

@@ -90,6 +90,16 @@ class NoSuchProcess(KernelError):
     errno_name = "ESRCH"
 
 
+class InjectedFault(KernelError):
+    """Generic I/O error substituted by the fault plane (EIO).
+
+    The default error for :mod:`repro.faults` policies when no specific
+    substitution (EROFS, ENETUNREACH, ...) was requested.
+    """
+
+    errno_name = "EIO"
+
+
 # ---------------------------------------------------------------------------
 # Mini SQL engine errors
 # ---------------------------------------------------------------------------

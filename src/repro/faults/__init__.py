@@ -1,0 +1,34 @@
+"""Deterministic fault injection for every mutating layer.
+
+``FAULTS`` is the process-wide :class:`FaultPlane`; instrumented modules
+gate on ``FAULTS.enabled`` (one attribute check — the disabled path stays
+at seed speed) and consult ``FAULTS.hit("point", **ctx)`` when armed.
+Policies (:func:`fail_nth`, :func:`fail_prob`, :func:`crash_at`,
+:func:`fail_with`) are composable and reproducible; crashes raise
+:class:`SimulatedCrash` and are undone by ``Device.recover()``.
+"""
+
+from .plane import (
+    FAULT_POINTS,
+    FAULTS,
+    FaultPlane,
+    FaultPolicy,
+    SimulatedCrash,
+    UnknownFaultPoint,
+    register_point,
+)
+from .policies import crash_at, fail_nth, fail_prob, fail_with
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULTS",
+    "FaultPlane",
+    "FaultPolicy",
+    "SimulatedCrash",
+    "UnknownFaultPoint",
+    "crash_at",
+    "fail_nth",
+    "fail_prob",
+    "fail_with",
+    "register_point",
+]

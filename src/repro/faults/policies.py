@@ -1,0 +1,116 @@
+"""Composable, reproducible fault policies.
+
+Each factory returns a :class:`~repro.faults.plane.FaultPolicy` that is
+deterministic given its arguments: ``fail_nth`` counts hits, ``fail_prob``
+draws from its *own* ``random.Random(seed)`` (never the global RNG), and
+``crash_at`` raises :class:`~repro.faults.plane.SimulatedCrash` on its
+chosen hit. Arm several at one point and the first that fires wins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import InjectedFault
+
+from .plane import FaultPolicy, SimulatedCrash
+
+__all__ = ["crash_at", "fail_nth", "fail_prob", "fail_with"]
+
+
+def _make_error(error: Any, point: str, hit: int) -> BaseException:
+    """Build the exception to inject: instance, class, or default EIO."""
+    if error is None:
+        return InjectedFault(f"injected fault at {point} (hit #{hit})")
+    if isinstance(error, BaseException):
+        return error
+    if isinstance(error, type) and issubclass(error, BaseException):
+        try:
+            return error(f"injected at {point} (hit #{hit})")
+        except TypeError:
+            return error()
+    raise TypeError(f"not an exception or exception type: {error!r}")
+
+
+class _LambdaPolicy(FaultPolicy):
+    def __init__(
+        self,
+        describe: str,
+        decide_fn: Callable[[str, int, Dict[str, Any]], Optional[BaseException]],
+    ) -> None:
+        self.describe = describe
+        self._decide = decide_fn
+
+    def decide(
+        self, point: str, hit: int, ctx: Dict[str, Any]
+    ) -> Optional[BaseException]:
+        return self._decide(point, hit, ctx)
+
+
+def fail_nth(k: int, error: Any = None) -> FaultPolicy:
+    """Inject exactly once, at the k-th hit of the armed point (1-based)."""
+    if k < 1:
+        raise ValueError("fail_nth needs k >= 1 (hits are 1-based)")
+
+    def decide(point: str, hit: int, ctx: Dict[str, Any]) -> Optional[BaseException]:
+        if hit == k:
+            return _make_error(error, point, hit)
+        return None
+
+    return _LambdaPolicy(f"fail_nth({k})", decide)
+
+
+def fail_prob(p: float, seed: int, error: Any = None) -> FaultPolicy:
+    """Inject with probability ``p`` per hit, from a private seeded RNG.
+
+    The RNG belongs to the policy instance, so the decision sequence is a
+    pure function of ``(p, seed)`` and the hit order — re-running the same
+    workload with the same seed reproduces the same fault schedule
+    byte-for-byte.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("fail_prob needs 0 <= p <= 1")
+    rng = random.Random(seed)
+
+    def decide(point: str, hit: int, ctx: Dict[str, Any]) -> Optional[BaseException]:
+        if rng.random() < p:
+            return _make_error(error, point, hit)
+        return None
+
+    return _LambdaPolicy(f"fail_prob({p}, seed={seed})", decide)
+
+
+def crash_at(nth: int = 1) -> FaultPolicy:
+    """Simulate a whole-machine crash at the nth hit of the armed point.
+
+    Raises :class:`SimulatedCrash` (a ``BaseException``), which unwinds
+    through every simulated layer uncaught; the harness catches it and
+    calls ``Device.recover()``.
+    """
+    if nth < 1:
+        raise ValueError("crash_at needs nth >= 1 (hits are 1-based)")
+
+    def decide(point: str, hit: int, ctx: Dict[str, Any]) -> Optional[BaseException]:
+        if hit == nth:
+            return SimulatedCrash(point, hit)
+        return None
+
+    return _LambdaPolicy(f"crash_at(nth={nth})", decide)
+
+
+def fail_with(error: Any) -> FaultPolicy:
+    """Substitute ``error`` on every hit — e.g. a store that has gone
+    read-only (``ReadOnlyFilesystem``) or a dead network
+    (``NetworkUnreachable``) for as long as the point stays armed."""
+    if not (
+        isinstance(error, BaseException)
+        or (isinstance(error, type) and issubclass(error, BaseException))
+    ):
+        raise TypeError(f"not an exception or exception type: {error!r}")
+
+    def decide(point: str, hit: int, ctx: Dict[str, Any]) -> Optional[BaseException]:
+        return _make_error(error, point, hit)
+
+    name = error.__name__ if isinstance(error, type) else type(error).__name__
+    return _LambdaPolicy(f"fail_with({name})", decide)

@@ -41,6 +41,7 @@ from repro.errors import (
     PermissionDenied,
     ReadOnlyFilesystem,
 )
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel import path as vpath
 from repro.obs import DEFAULT_BYTE_BUCKETS, OBS as _OBS
 from repro.kernel.vfs import (
@@ -55,6 +56,10 @@ from repro.kernel.vfs import (
 
 WHITEOUT_PREFIX = ".wh."
 OPAQUE_MARKER = ".wh..wh..opq"
+#: Copy-up staging name. The ``.wh.`` prefix keeps in-flight temp files out
+#: of the merged readdir view, so a crash mid-copy-up never exposes a torn
+#: partial file through the union; recovery just purges leftovers.
+COPYUP_TMP_PREFIX = ".wh..wh.cpup."
 
 
 @dataclass
@@ -257,6 +262,8 @@ class AufsMount(FilesystemAPI):
         self._copy_up_impl(union_path, source_index, cred, None)
 
     def _copy_up_impl(self, union_path, source_index, cred, span) -> None:
+        if _FAULTS.enabled:
+            _FAULTS.hit("aufs.copy_up", mount=self.label, path=union_path)
         branch = self._require_writable()
         source = self.branches[source_index]
         data = source.fs.read_file(source.path(union_path), ROOT_CRED)
@@ -264,8 +271,19 @@ class AufsMount(FilesystemAPI):
         self._ensure_parents(union_path)
         self._drop_whiteout(union_path)
         target = branch.path(union_path)
-        branch.fs.write_file(target, data, ROOT_CRED, mode=stat.mode | 0o600)
-        branch.fs.chown(target, cred.uid, gid=cred.gid)
+        # Crash-atomic: stage the copy under a whiteout-prefixed temp name
+        # (invisible through the union), then publish it with an atomic
+        # rename — a crash at any intermediate point leaves either the old
+        # view or the new one, never a torn file.
+        staging = vpath.join(
+            branch.path(vpath.parent(union_path)),
+            COPYUP_TMP_PREFIX + vpath.basename(union_path),
+        )
+        branch.fs.write_file(staging, data, ROOT_CRED, mode=stat.mode | 0o600)
+        branch.fs.chown(staging, cred.uid, gid=cred.gid)
+        if _FAULTS.enabled:
+            _FAULTS.hit("aufs.copy_up.publish", mount=self.label, path=union_path)
+        branch.fs.rename(staging, target, ROOT_CRED)
         self.copy_up_count += 1
         self.copy_up_bytes += len(data)
         if span is not None:
@@ -579,3 +597,25 @@ class AufsMount(FilesystemAPI):
         self.copy_up_count = 0
         self.copy_up_bytes = 0
         self.lookup_branches_scanned = 0
+
+
+def purge_copyup_temps(fs: Filesystem) -> List[str]:
+    """Remove orphaned copy-up staging files from a branch filesystem.
+
+    A crash between the staging write and the publishing rename leaves a
+    ``.wh..wh.cpup.*`` file behind; it is invisible through the union but
+    still occupies space. ``Device.recover()`` calls this on every branch
+    store. Returns the paths removed.
+    """
+    removed: List[str] = []
+    stack = ["/"]
+    while stack:
+        current = stack.pop()
+        for name in list(fs.readdir(current, ROOT_CRED)):
+            child = vpath.join(current, name)
+            if fs.stat(child, ROOT_CRED).is_dir:
+                stack.append(child)
+            elif name.startswith(COPYUP_TMP_PREFIX):
+                fs.unlink(child, ROOT_CRED)
+                removed.append(child)
+    return removed

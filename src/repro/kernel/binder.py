@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import IpcDenied, ProviderNotFound
-from repro.kernel.proc import Process, TaskContext
+from repro.errors import IpcDenied, NoSuchProcess, ProviderNotFound
+from repro.faults import FAULTS as _FAULTS
+from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.obs import OBS as _OBS
 
 
@@ -45,6 +46,9 @@ class BinderEndpoint:
     owner: Optional[str]
     handler: Callable[[Transaction], Any]
     is_system: bool = False
+    #: The process behind a per-instance app endpoint (``app:<pid>``).
+    #: System services have no backing pid and are always reachable.
+    pid: Optional[int] = None
 
 
 # Policy signature: (sender_context, endpoint) -> allowed?
@@ -57,8 +61,18 @@ class BinderDriver:
     def __init__(self) -> None:
         self._endpoints: Dict[str, BinderEndpoint] = {}
         self._policy: Optional[BinderPolicy] = None
+        self._processes: Optional[ProcessTable] = None
         self.transaction_log: List[Transaction] = []
         self.denied_log: List[Transaction] = []
+
+    def attach_process_table(self, processes: ProcessTable) -> None:
+        """Let the driver check recipient liveness (done by the Device).
+
+        The real Binder driver learns about process death through the
+        kernel; here the attached table plays that role, so transactions to
+        dead recipients fail closed with :class:`NoSuchProcess`.
+        """
+        self._processes = processes
 
     def register(
         self,
@@ -67,8 +81,11 @@ class BinderDriver:
         *,
         owner: Optional[str] = None,
         is_system: bool = False,
+        pid: Optional[int] = None,
     ) -> BinderEndpoint:
-        endpoint = BinderEndpoint(name=name, owner=owner, handler=handler, is_system=is_system)
+        endpoint = BinderEndpoint(
+            name=name, owner=owner, handler=handler, is_system=is_system, pid=pid
+        )
         self._endpoints[name] = endpoint
         return endpoint
 
@@ -104,7 +121,13 @@ class BinderDriver:
         return self._transact_impl(sender, target, code, payload)
 
     def _transact_impl(self, sender: Process, target: str, code: str, payload: Any) -> Any:
-        endpoint = self.endpoint(target)
+        if _FAULTS.enabled:
+            _FAULTS.hit(
+                "binder.transact", ctx=str(sender.context), target=target, code=code
+            )
+        if not sender.alive:
+            raise NoSuchProcess(f"binder: sender pid {sender.pid} has exited")
+        endpoint = self._live_endpoint(target)
         transaction = Transaction(
             sender_pid=sender.pid,
             sender_context=sender.context,
@@ -122,3 +145,27 @@ class BinderDriver:
         if _OBS.enabled:
             _OBS.metrics.count("binder.transactions")
         return endpoint.handler(transaction)
+
+    def _live_endpoint(self, target: str) -> BinderEndpoint:
+        """Resolve ``target``, failing closed on dead recipients.
+
+        A transaction to a dead app process raises :class:`NoSuchProcess`
+        consistently — whether the stale endpoint is still registered
+        (killed process, endpoint not yet torn down) or already gone
+        (``app:<pid>`` names only ever back processes). Non-app endpoints
+        that were never registered remain :class:`ProviderNotFound`.
+        """
+        endpoint = self._endpoints.get(target)
+        if endpoint is None:
+            if target.startswith("app:"):
+                raise NoSuchProcess(f"binder: no live process behind {target!r}")
+            raise ProviderNotFound(f"no binder endpoint named {target!r}")
+        if endpoint.pid is not None and self._processes is not None:
+            try:
+                self._processes.get(endpoint.pid)
+            except NoSuchProcess:
+                self.unregister(target)
+                raise NoSuchProcess(
+                    f"binder: recipient pid {endpoint.pid} behind {target!r} has exited"
+                )
+        return endpoint

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FileNotFound
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel import path as vpath
 from repro.kernel.vfs import Filesystem, FilesystemAPI
 from repro.obs import OBS as _OBS
@@ -62,6 +63,8 @@ class MountNamespace:
 
         Chooses the mount point with the longest prefix match.
         """
+        if _FAULTS.enabled:
+            _FAULTS.hit("mounts.resolve", path=path)
         if _OBS.enabled:
             _OBS.metrics.count("mounts.resolve")
         path = vpath.normalize(path)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import CrossDeviceLink, NoSuchProcess
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel import path as vpath
 from repro.kernel.proc import Process
 from repro.kernel.vfs import FileHandle, Stat
@@ -129,6 +130,8 @@ class Syscalls:
             return handle.read()
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> None:
+        if _FAULTS.enabled:
+            _FAULTS.hit("vfs.write", ctx=str(self.process.context), path=path)
         if _OBS.enabled:
             with _OBS.tracer.span(
                 "vfs.write", ctx=str(self.process.context), path=path, bytes=len(data)
@@ -143,6 +146,8 @@ class Syscalls:
             handle.write(data)
 
     def append_file(self, path: str, data: bytes) -> None:
+        if _FAULTS.enabled:
+            _FAULTS.hit("vfs.write", ctx=str(self.process.context), path=path)
         if _OBS.enabled:
             with _OBS.tracer.span(
                 "vfs.write", ctx=str(self.process.context), path=path,

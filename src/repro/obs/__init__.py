@@ -57,6 +57,12 @@ from repro.obs.report import (
     layer_self_times,
     span_time,
 )
+from repro.obs.sweep import (
+    parse_delegate_ctx,
+    priv_owner,
+    spans_with_inherited_ctx,
+    sweep,
+)
 from repro.obs.trace import (
     JsonlSink,
     RingBufferSink,
@@ -67,6 +73,10 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "sweep",
+    "spans_with_inherited_ctx",
+    "parse_delegate_ctx",
+    "priv_owner",
     "OBS",
     "Observability",
     "Tracer",

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import gc
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from statistics import mean, median, stdev
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import ReproError
+from repro.faults import FAULT_POINTS, FAULTS, FaultPlane, fail_prob
 from repro.obs import OBS, MetricsSnapshot, counters_by_layer
 
 
@@ -117,6 +119,29 @@ def measure(
         if capture_metrics and not obs_was_enabled:
             OBS.disable()
     return Measurement(label=label, trials_ms=samples, metrics_delta=delta)
+
+
+@contextmanager
+def arm_chaos(
+    seed: int,
+    probability: float = 0.01,
+    points: Optional[Iterable[str]] = None,
+) -> Iterator[FaultPlane]:
+    """Arm probabilistic faults across fault points for a chaos run.
+
+    Every point (default: all registered points) gets a
+    :func:`~repro.faults.fail_prob` policy with a seed derived
+    deterministically from ``seed`` and the point name, so one integer
+    pins the entire fault schedule: re-running the same workload with the
+    same ``seed`` reproduces it byte-for-byte
+    (:meth:`~repro.faults.FaultPlane.schedule_bytes`), independent of the
+    order the points are armed in. The plane is reset on exit.
+    """
+    selected = sorted(points) if points is not None else sorted(FAULT_POINTS)
+    with FAULTS.scope():
+        for index, point in enumerate(selected):
+            FAULTS.arm(point, fail_prob(probability, seed=seed * 1009 + index))
+        yield FAULTS
 
 
 def overhead_pct(baseline: Measurement, treatment: Measurement) -> float:

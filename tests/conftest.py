@@ -6,6 +6,16 @@ import pytest
 
 from repro import Device
 from repro.apps import install_standard_apps
+from repro.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def _fault_plane_left_clean():
+    """The fault plane is a process-wide singleton; no test may leak an
+    armed point into the next one."""
+    yield
+    if FAULTS.enabled or FAULTS.schedule:
+        FAULTS.reset()
 
 
 @pytest.fixture

@@ -126,3 +126,51 @@ class TestAudit:
 
     def test_nothing_leaked_on_fresh_device(self, env):
         assert not leaked_off_device(env, b"MARKER-none")
+
+
+class TestAuditLog:
+    """The fault/recovery post-mortem log (crash-sweep satellite)."""
+
+    def test_record_and_render(self):
+        from repro.core.audit import AuditLog
+
+        log = AuditLog()
+        log.record("recovery", "replayed file commit", destination="/x")
+        assert len(log) == 1
+        line = log.render()
+        assert "recovery: replayed file commit" in line and "'/x'" in line
+
+    def test_ingest_faults_is_idempotent(self):
+        import pytest as _pytest
+
+        from repro.core.audit import AuditLog
+        from repro.errors import InjectedFault
+        from repro.faults import FaultPlane, fail_nth
+
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(1))
+        with _pytest.raises(InjectedFault):
+            plane.hit("vfs.write", path="/p")
+        log = AuditLog()
+        assert log.ingest_faults(plane) == 1
+        assert log.ingest_faults(plane) == 0  # same entries skipped
+        (event,) = log.events("fault")
+        assert event.details["point"] == "vfs.write"
+        assert event.details["path"] == "/p"
+
+    def test_device_recovery_actions_are_audited(self, env):
+        delegate = env.spawn(B, initiator=A)
+        delegate.write_external("doc.txt", b"payload")
+        import pytest as _pytest
+
+        from repro.faults import FAULTS, SimulatedCrash, crash_at
+
+        FAULTS.arm("vol.commit.apply", crash_at())
+        with _pytest.raises(SimulatedCrash):
+            env.spawn(A).volatile.commit("/storage/sdcard/tmp/doc.txt")
+        env.recover(validate=False)
+        categories = {e.category for e in env.audit_log.events()}
+        assert categories == {"fault", "recovery"}
+        messages = " / ".join(e.message for e in env.audit_log.events())
+        assert "crash at vol.commit.apply" in messages
+        assert "replayed file commit" in messages

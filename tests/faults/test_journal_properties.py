@@ -1,0 +1,136 @@
+"""Property tests for the crash-recovery journals.
+
+Two contracts, explored with Hypothesis over payloads and crash points:
+
+- **Idempotent replay** — ``Device.recover()`` twice is exactly once: the
+  second pass replays nothing and the recovered state does not change.
+- **No duplication** — a crash *after* the commit applied but *before*
+  the journal truncated (the classic double-apply window) never yields a
+  duplicate file or a duplicate provider row on replay, because the
+  journal entry carries the destination (and, for COW rows, the
+  pre-allocated public key).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AndroidManifest, Device
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro.faults import FAULTS, SimulatedCrash, crash_at
+
+pytestmark = pytest.mark.faults
+
+A = "com.props.initiator"
+B = "com.props.helper"
+
+WORDS = Uri.content("user_dictionary", "words")
+
+# Crash points along the volatile file commit, in execution order. Each
+# leaves the journal in a different state: torn entry, complete entry with
+# no destination, complete entry with the destination already written.
+FILE_COMMIT_POINTS = ("vol.commit.journal", "vol.commit.apply", "vol.commit.truncate")
+
+
+class Nop:
+    def main(self, api, intent):
+        return None
+
+
+def _fresh_device():
+    # Each Hypothesis example is a fresh run; the per-test autouse reset
+    # fires too late for that, so clear the plane here.
+    FAULTS.reset()
+    device = Device(maxoid_enabled=True)
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    return device
+
+
+def _crashed_file_commit(data, point):
+    """Stage one volatile file and crash its commit at ``point``."""
+    device = _fresh_device()
+    delegate = device.spawn(B, initiator=A)
+    delegate.write_external("doc.bin", data)
+    initiator = device.spawn(A)
+    FAULTS.arm(point, crash_at())
+    with pytest.raises(SimulatedCrash):
+        initiator.volatile.commit("/storage/sdcard/tmp/doc.bin")
+    return device, initiator
+
+
+def _external_state(api):
+    """(names at the external root, committed file bytes or None)."""
+    names = sorted(api.sys.listdir("/storage/sdcard"))
+    content = None
+    if api.sys.exists("/storage/sdcard/doc.bin"):
+        content = api.sys.read_file("/storage/sdcard/doc.bin")
+    return names, content
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=256),
+    point=st.sampled_from(FILE_COMMIT_POINTS),
+)
+def test_recovering_twice_is_recovering_once(data, point):
+    device, initiator = _crashed_file_commit(data, point)
+    first = device.recover(validate=False)
+    assert first.file_commits_replayed + first.file_commits_rolled_back == 1
+    assert len(device.commit_journal) == 0
+    state_after_first = _external_state(initiator)
+    second = device.recover(validate=False)
+    assert second.file_commits_replayed == 0
+    assert second.file_commits_rolled_back == 0
+    assert _external_state(initiator) == state_after_first
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.binary(min_size=1, max_size=256))
+def test_crash_before_truncate_never_duplicates_the_file(data):
+    # The destination write already happened; the journal entry is still
+    # pending, so recovery replays it — onto the same path, same bytes.
+    device, initiator = _crashed_file_commit(data, "vol.commit.truncate")
+    report = device.recover(validate=False)
+    assert report.file_commits_replayed == 1
+    names, content = _external_state(initiator)
+    assert names.count("doc.bin") == 1
+    assert content == data
+    # The volatile source survives too (commit is a copy, not a move).
+    assert initiator.volatile.read("/storage/sdcard/tmp/doc.bin") == data
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    words=st.lists(
+        st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+)
+def test_cow_commit_replay_never_duplicates_rows(words):
+    # A delegate inserts rows; the initiator's commit crashes after the
+    # primary-table apply, before the journal rows clear. Replay must
+    # reuse the pre-allocated public keys, not mint duplicates.
+    device = _fresh_device()
+    delegate = device.spawn(B, initiator=A)
+    for word in words:
+        delegate.insert(WORDS, ContentValues({"word": word}))
+    proxy = device.user_dictionary.proxy
+    volatile = proxy.volatile_rows("words", A)
+    pk_index = [c.lower() for c in volatile.columns].index("_id")
+    row_ids = [row[pk_index] for row in volatile.rows]
+    assert len(row_ids) == len(words)
+
+    FAULTS.arm("cow.delta_commit.truncate", crash_at())
+    with pytest.raises(SimulatedCrash):
+        proxy.commit_volatile_batch("words", A, row_ids)
+    first = device.recover(validate=False)
+    assert first.cow_rows_replayed == len(words)
+
+    committed = proxy.db.execute("SELECT word FROM words")
+    assert sorted(row[0] for row in committed.rows) == sorted(words)
+    second = device.recover(validate=False)
+    assert second.cow_rows_replayed == 0 and second.cow_rows_rolled_back == 0
+    assert len(proxy.db.execute("SELECT word FROM words").rows) == len(words)

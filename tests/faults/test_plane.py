@@ -1,0 +1,227 @@
+"""Unit tests for the fault plane: arming, policies, the schedule, and
+the byte-identical-reproduction contract."""
+
+import pytest
+
+from repro import AndroidManifest, Device
+from repro.errors import InjectedFault, ReadOnlyFilesystem, ReproError
+from repro.faults import (
+    FAULT_POINTS,
+    FAULTS,
+    FaultPlane,
+    SimulatedCrash,
+    UnknownFaultPoint,
+    crash_at,
+    fail_nth,
+    fail_prob,
+    fail_with,
+)
+
+pytestmark = pytest.mark.faults
+
+A = "com.faults.initiator"
+B = "com.faults.helper"
+
+
+class Nop:
+    def main(self, api, intent):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Arming and the registry
+# ----------------------------------------------------------------------
+
+class TestArming:
+    def test_plane_starts_disabled(self):
+        assert FaultPlane().enabled is False
+
+    def test_arming_unknown_point_is_an_error(self):
+        plane = FaultPlane()
+        with pytest.raises(UnknownFaultPoint):
+            plane.arm("vfs.no_such_point", fail_nth(1))
+
+    def test_arming_needs_a_policy(self):
+        plane = FaultPlane()
+        with pytest.raises(ValueError):
+            plane.arm("vfs.write")
+
+    def test_arm_enables_and_disarm_disables(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(1))
+        assert plane.enabled and plane.armed_points() == ["vfs.write"]
+        plane.disarm("vfs.write")
+        assert not plane.enabled and plane.armed_points() == []
+
+    def test_disarming_one_of_two_points_stays_enabled(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(1)).arm("mounts.resolve", fail_nth(1))
+        plane.disarm("vfs.write")
+        assert plane.enabled and plane.armed_points() == ["mounts.resolve"]
+
+    def test_scope_always_leaves_the_plane_clean(self):
+        plane = FaultPlane()
+        with pytest.raises(InjectedFault):
+            with plane.scope():
+                plane.arm("vfs.write", fail_nth(1))
+                plane.hit("vfs.write")
+        assert not plane.enabled
+        assert plane.schedule == [] and plane.injection_log == []
+
+    def test_every_registered_point_names_its_layer(self):
+        # The point's prefix is the span-taxonomy layer; the sweep's
+        # ">= 4 layers" coverage claim rests on this.
+        layers = {point.split(".")[0] for point in FAULT_POINTS}
+        assert {"vfs", "aufs", "mounts", "binder", "am", "zygote", "cow", "vol"} <= layers
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+
+class TestPolicies:
+    def test_fail_nth_fires_exactly_once_at_k(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(3))
+        plane.hit("vfs.write")
+        plane.hit("vfs.write")
+        with pytest.raises(InjectedFault):
+            plane.hit("vfs.write")
+        plane.hit("vfs.write")  # k+1 passes again
+        assert plane.hits("vfs.write") == 4
+
+    def test_fail_nth_substitutes_the_given_error_class(self):
+        plane = FaultPlane()
+        plane.arm("aufs.copy_up", fail_nth(1, ReadOnlyFilesystem))
+        with pytest.raises(ReadOnlyFilesystem):
+            plane.hit("aufs.copy_up")
+
+    def test_fail_with_error_instance_is_raised_verbatim(self):
+        plane = FaultPlane()
+        marker = ReadOnlyFilesystem("the store went away")
+        plane.arm("aufs.copy_up", fail_with(marker))
+        with pytest.raises(ReadOnlyFilesystem) as excinfo:
+            plane.hit("aufs.copy_up")
+        assert excinfo.value is marker
+
+    def test_fail_with_fires_on_every_hit(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_with(InjectedFault))
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                plane.hit("vfs.write")
+
+    def test_crash_at_raises_simulated_crash_with_point_and_hit(self):
+        plane = FaultPlane()
+        plane.arm("vol.commit", crash_at(nth=2))
+        plane.hit("vol.commit")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            plane.hit("vol.commit")
+        assert excinfo.value.point == "vol.commit"
+        assert excinfo.value.hit == 2
+
+    def test_simulated_crash_is_not_catchable_as_exception(self):
+        # The whole design rests on this: `except Exception` in simulated
+        # code must not swallow a crash.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+    def test_first_armed_policy_wins(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(1, ReadOnlyFilesystem), crash_at(nth=1))
+        with pytest.raises(ReadOnlyFilesystem):
+            plane.hit("vfs.write")
+
+    def test_fail_prob_is_a_pure_function_of_seed_and_hit_order(self):
+        def decisions(seed):
+            plane = FaultPlane()
+            plane.arm("vfs.write", fail_prob(0.5, seed=seed))
+            fired = []
+            for index in range(64):
+                try:
+                    plane.hit("vfs.write")
+                except InjectedFault:
+                    fired.append(index)
+            return fired
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_policy_argument_validation(self):
+        with pytest.raises(ValueError):
+            fail_nth(0)
+        with pytest.raises(ValueError):
+            crash_at(0)
+        with pytest.raises(ValueError):
+            fail_prob(1.5, seed=1)
+        with pytest.raises(TypeError):
+            fail_with("not an exception")
+
+
+# ----------------------------------------------------------------------
+# Schedule and injection log
+# ----------------------------------------------------------------------
+
+class TestSchedule:
+    def test_schedule_records_every_consult_and_log_only_fired(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(2))
+        plane.hit("vfs.write", path="/a")
+        with pytest.raises(InjectedFault):
+            plane.hit("vfs.write", path="/b")
+        assert [s[2] for s in plane.schedule] == ["pass", "raise:InjectedFault"]
+        assert len(plane.injection_log) == 1
+        entry = plane.injection_log[0]
+        assert entry["point"] == "vfs.write"
+        assert entry["hit"] == 2
+        assert entry["ctx"] == {"path": "/b"}
+        assert entry["policy"] == "fail_nth(2)"
+
+    def test_crash_outcome_is_tagged_crash(self):
+        plane = FaultPlane()
+        plane.arm("zygote.fork", crash_at())
+        with pytest.raises(SimulatedCrash):
+            plane.hit("zygote.fork")
+        assert plane.schedule[-1][2] == "crash"
+
+    def test_schedule_bytes_roundtrip(self):
+        plane = FaultPlane()
+        plane.arm("vfs.write", fail_nth(2))
+        plane.hit("vfs.write")
+        with pytest.raises(InjectedFault):
+            plane.hit("vfs.write")
+        assert plane.schedule_bytes() == b"1 vfs.write pass\n2 vfs.write raise:InjectedFault"
+
+
+# ----------------------------------------------------------------------
+# End-to-end determinism: same seed => byte-identical fault schedule
+# ----------------------------------------------------------------------
+
+def _run_seeded_workload(seed):
+    """A small device workload with probabilistic faults armed on two
+    layers; returns the plane's serialized schedule."""
+    device = Device(maxoid_enabled=True)
+    device.install(AndroidManifest(package=A), Nop())
+    device.install(AndroidManifest(package=B), Nop())
+    with FAULTS.scope():
+        FAULTS.arm("vfs.write", fail_prob(0.25, seed=seed))
+        FAULTS.arm("mounts.resolve", fail_prob(0.02, seed=seed + 1))
+        initiator = device.spawn(A)
+        delegate = device.spawn(B, initiator=A)
+        for index in range(40):
+            for api in (initiator, delegate):
+                try:
+                    api.write_external(f"w{index}.txt", b"x" * 32)
+                except ReproError:
+                    pass  # an injected fault ends this op, not the workload
+        return FAULTS.schedule_bytes()
+
+
+def test_same_seed_produces_byte_identical_schedule():
+    first = _run_seeded_workload(1234)
+    second = _run_seeded_workload(1234)
+    assert first and first == second
+
+
+def test_different_seed_produces_a_different_schedule():
+    assert _run_seeded_workload(1234) != _run_seeded_workload(4321)

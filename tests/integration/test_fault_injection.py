@@ -1,20 +1,31 @@
 """Fault injection: dead processes, vanished state, read-only stores,
-mid-session clears — the system must fail closed, never open."""
+mid-session clears — the system must fail closed, never open.
+
+Store and I/O failures are injected through the fault plane
+(:mod:`repro.faults`) rather than by reaching into filesystem internals:
+arming ``fail_with(ReadOnlyFilesystem)`` at ``aufs.copy_up`` *is* the
+store going read-only under the union, as every instrumented call site
+sees it."""
 
 import pytest
 
 from repro.errors import (
     FileNotFound,
+    InjectedFault,
     NoSuchProcess,
+    ProviderNotFound,
     ReadOnlyFilesystem,
 )
 from repro.android.content.downloads import STATUS_ERROR_NETWORK
 from repro.android.content.provider import ContentValues
 from repro.android.intents import Intent
 from repro.android.uri import Uri
+from repro.faults import FAULTS, fail_nth, fail_with
 from repro.kernel.aufs import AufsMount, Branch
 from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
 from repro import AndroidManifest
+
+pytestmark = pytest.mark.faults
 
 A = "com.fault.initiator"
 B = "com.fault.helper"
@@ -91,16 +102,72 @@ class TestReadOnlyStores:
     def test_copy_up_onto_read_only_fs_propagates_erofs(self):
         lower = Filesystem(label="lower")
         lower.write_file("/f", b"data", ROOT_CRED, mode=0o666)
-        sealed_upper = Filesystem(label="sealed", read_only=False)
+        upper = Filesystem(label="upper")
         union = AufsMount(
-            [Branch(sealed_upper, "/", writable=True), Branch(lower, "/", writable=False)],
+            [Branch(upper, "/", writable=True), Branch(lower, "/", writable=False)],
             always_allow_read=True,
         )
-        sealed_upper.read_only = True  # the store fails after mount
-        with pytest.raises(ReadOnlyFilesystem):
-            union.append_file("/f", b"x", Credentials(uid=1001))
+        # The upper store goes read-only after mount: injected at the
+        # copy-up fault point, before the union mutates anything.
+        with FAULTS.scope():
+            FAULTS.arm("aufs.copy_up", fail_with(ReadOnlyFilesystem))
+            with pytest.raises(ReadOnlyFilesystem):
+                union.append_file("/f", b"x", Credentials(uid=1001))
         # And the lower branch is untouched by the failed copy-up attempt.
         assert lower.read_file("/f", ROOT_CRED) == b"data"
+        # The upper branch too: the fault fired before any mutation.
+        assert not upper.exists("/f", ROOT_CRED)
+
+    def test_transient_write_fault_does_not_corrupt_later_writes(self, env):
+        api = env.spawn(A)
+        with FAULTS.scope():
+            FAULTS.arm("vfs.write", fail_nth(1))
+            with pytest.raises(InjectedFault):
+                api.write_external("flaky.txt", b"first")
+            # The very next write through the same path succeeds.
+            api.write_external("flaky.txt", b"second")
+        assert api.read_external("flaky.txt") == b"second"
+
+
+class TestBinderDeadRecipients:
+    """Regression: a transaction to a dead recipient raises
+    ``NoSuchProcess`` consistently — stale endpoint or no endpoint —
+    instead of sometimes surfacing as ``ProviderNotFound``."""
+
+    def _delegate_endpoint(self, env):
+        a = env.spawn(A)
+        env.am.register_handler(B, lambda process, intent: "ok")
+        invocation = env.am.start_activity(
+            a.process,
+            Intent(Intent.ACTION_VIEW, component=B, flags=Intent.FLAG_MAXOID_DELEGATE),
+        )
+        return a, invocation.process
+
+    def test_transact_to_killed_recipient_raises_no_such_process(self, env):
+        a, delegate_process = self._delegate_endpoint(env)
+        target = f"app:{delegate_process.pid}"
+        delegate_process.kill()
+        # Stale endpoint still registered: fails closed, and consistently
+        # so on retry (the first failure tears the stale endpoint down).
+        for _ in range(2):
+            with pytest.raises(NoSuchProcess):
+                env.binder.transact(a.process, target, "ping", {})
+
+    def test_transact_to_never_registered_app_endpoint(self, env):
+        a = env.spawn(A)
+        with pytest.raises(NoSuchProcess):
+            env.binder.transact(a.process, "app:424242", "ping", {})
+
+    def test_missing_service_endpoint_is_still_provider_not_found(self, env):
+        a = env.spawn(A)
+        with pytest.raises(ProviderNotFound):
+            env.binder.transact(a.process, "no.such.service", "ping", {})
+
+    def test_live_recipient_is_unaffected(self, env):
+        a, delegate_process = self._delegate_endpoint(env)
+        # The app endpoint's handler is a no-op; reaching it (no raise)
+        # is the point.
+        env.binder.transact(a.process, f"app:{delegate_process.pid}", "ping", {})
 
 
 class TestProviderFaults:

@@ -17,6 +17,14 @@ import pytest
 from repro.android.intents import Intent
 from repro.core.cow import initiator_key
 from repro.obs import OBS
+# The sweep machinery lives in repro.obs.sweep so that Device.recover()
+# can re-run the same invariant check after crash recovery.
+from repro.obs.sweep import (
+    DATA_PREFIX,
+    parse_delegate_ctx,
+    spans_with_inherited_ctx,
+    sweep,
+)
 
 pytestmark = pytest.mark.trace
 
@@ -31,104 +39,6 @@ DROPBOX = "com.dropbox.android"
 WRAPPER = "org.maxoid.wrapper"
 
 MARKER = b"MARKER-TRACE-sensitive"
-
-DATA_PREFIX = "/data/data/"
-PPRIV_SEGMENT = "ppriv"
-
-
-# ----------------------------------------------------------------------
-# Trace sweep machinery
-# ----------------------------------------------------------------------
-
-def spans_with_inherited_ctx(trees):
-    """Yield ``(node, ctx)`` for every span, with ``ctx`` taken from the
-    nearest ancestor-or-self span that recorded one (vfs and am spans tag
-    themselves; aufs/cow/sql spans inherit the caller's)."""
-    def walk(node, ctx):
-        ctx = node.span.attrs.get("ctx", ctx)
-        yield node, ctx
-        for child in node.children:
-            yield from walk(child, ctx)
-
-    for tree in trees:
-        yield from walk(tree, None)
-
-
-def parse_delegate_ctx(ctx):
-    """``"B^A"`` -> ``(B, A)``; ``None`` for non-delegate contexts."""
-    if ctx and "^" in ctx:
-        app, _, initiator = ctx.partition("^")
-        return app, initiator
-    return None
-
-
-def priv_owner(path):
-    """The package whose Priv a ``/data/data/...`` path falls under, with
-    pPriv paths resolved to the package segment after ``ppriv``."""
-    if not path.startswith(DATA_PREFIX):
-        return None
-    segments = [s for s in path[len(DATA_PREFIX):].split("/") if s]
-    if not segments:
-        return None
-    if segments[0] == PPRIV_SEGMENT:
-        return segments[1] if len(segments) > 1 else None
-    return segments[0]
-
-
-def foreign_keys(all_packages, delegate, initiator):
-    """Sanitized branch-directory keys of every package that is neither
-    the delegate nor its initiator."""
-    return {
-        initiator_key(pkg): pkg
-        for pkg in all_packages
-        if pkg not in (delegate, initiator)
-    }
-
-
-def writable_root_violations(node, ctx_pair, foreign):
-    """A delegate's writable branch root must never be keyed to another
-    package: neither a foreign per-app area (``/<key>/...``) nor a pair
-    area with a foreign initiator (``.../<x>@<key>/...``)."""
-    root = node.span.attrs.get("writable_root")
-    if not root:
-        return []
-    hits = []
-    for segment in root.strip("/").split("/"):
-        parts = segment.split("@") if "@" in segment else [segment]
-        for part in parts:
-            if part in foreign:
-                hits.append((root, foreign[part]))
-    return hits
-
-
-def sweep(trees, all_packages):
-    """Replay the S1/S2 confinement check over every recorded span.
-
-    Returns ``(violations, delegate_span_count)``; the count is the
-    positive control that the sweep actually saw confined work.
-    """
-    violations = []
-    delegate_spans = 0
-    for node, ctx in spans_with_inherited_ctx(trees):
-        pair = parse_delegate_ctx(ctx)
-        if pair is None or node.span.status != "ok":
-            continue
-        delegate_spans += 1
-        delegate, initiator = pair
-        owner = priv_owner(node.span.attrs.get("path", ""))
-        if owner is not None and owner not in (delegate, initiator):
-            violations.append(
-                f"{node.name} in ctx {ctx} touched Priv({owner}): "
-                f"{node.span.attrs['path']}"
-            )
-        for root, pkg in writable_root_violations(
-            node, pair, foreign_keys(all_packages, delegate, initiator)
-        ):
-            violations.append(
-                f"{node.name} in ctx {ctx} writes into a branch keyed to "
-                f"{pkg}: {root}"
-            )
-    return violations, delegate_spans
 
 
 # ----------------------------------------------------------------------

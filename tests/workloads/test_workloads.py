@@ -121,3 +121,41 @@ class TestReports:
     def test_non_string_cells(self):
         table = render_table(["n"], [[42]])
         assert "42" in table
+
+
+class TestArmChaos:
+    """Seeded chaos arming (the --faults-seed harness hook)."""
+
+    def _run(self, seed):
+        from repro.errors import ReproError
+        from repro.workloads.harness import arm_chaos
+
+        device = Device(maxoid_enabled=True)
+        device.install(AndroidManifest(package="com.chaos.app"), Nop())
+        with arm_chaos(seed, probability=0.2) as plane:
+            api = device.spawn("com.chaos.app")
+            for index in range(30):
+                try:
+                    api.write_external(f"c{index}.txt", b"x")
+                except ReproError:
+                    pass
+            return plane.schedule_bytes()
+
+    def test_same_seed_reproduces_the_schedule(self):
+        assert self._run(11) == self._run(11)
+
+    def test_different_seed_changes_the_schedule(self):
+        assert self._run(11) != self._run(12)
+
+    def test_plane_left_clean(self):
+        from repro.faults import FAULTS
+
+        self._run(11)
+        assert not FAULTS.enabled and FAULTS.schedule == []
+
+    def test_points_subset_limits_arming(self):
+        from repro.faults import FAULTS
+        from repro.workloads.harness import arm_chaos
+
+        with arm_chaos(3, points=["vfs.write", "binder.transact"]):
+            assert FAULTS.armed_points() == ["binder.transact", "vfs.write"]
