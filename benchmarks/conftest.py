@@ -37,6 +37,14 @@ def pytest_addoption(parser):
         "fixture into DIR (created if missing)",
     )
     parser.addoption(
+        "--obs-prom",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="dump a Prometheus-text metrics file per benchmark using the "
+        "obs_capture fixture into DIR (created if missing)",
+    )
+    parser.addoption(
         "--faults-seed",
         action="store",
         default=None,
@@ -93,16 +101,24 @@ def obs_capture(request):
     Yields the enabled :data:`repro.obs.OBS` instance; the benchmark body
     runs traced, and at teardown a per-layer self-time breakdown is printed
     (visible with ``-s``). With ``--obs-jsonl DIR`` the finished spans are
-    also dumped to ``DIR/<test>.jsonl`` for offline analysis.
+    also dumped to ``DIR/<test>.jsonl`` for offline analysis; with
+    ``--obs-prom DIR`` the metrics registry is dumped to ``DIR/<test>.prom``
+    in the Prometheus text format.
     """
+    stem = re.sub(r"[^\w.-]+", "_", request.node.nodeid)
     out_dir = request.config.getoption("--obs-jsonl")
     jsonl_path = None
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
-        stem = re.sub(r"[^\w.-]+", "_", request.node.nodeid)
         jsonl_path = os.path.join(out_dir, f"{stem}.jsonl")
+    prom_dir = request.config.getoption("--obs-prom")
     with OBS.capture(jsonl_path=jsonl_path) as obs:
         yield obs
+        if prom_dir:
+            os.makedirs(prom_dir, exist_ok=True)
+            prom_path = os.path.join(prom_dir, f"{stem}.prom")
+            with open(prom_path, "w", encoding="utf-8") as fh:
+                fh.write(obs.metrics.to_prometheus_text())
         spans = obs.spans()
         if spans:
             print()

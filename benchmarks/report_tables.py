@@ -510,10 +510,47 @@ def figure1() -> str:
     )
 
 
+def bench_layers(trials: int) -> dict:
+    """Per-layer self-times over a traced delegate workload, as the
+    ``layers`` section of ``BENCH_obs.json``."""
+    from repro.obs import OBS
+    from repro.obs.artifacts import layer_section
+
+    device = fresh(maxoid=True)
+    payload = deterministic_bytes(4096)
+    with OBS.capture(ring_capacity=65536) as obs:
+        api = api_for(device, "delegate")
+        for index in range(max(1, trials)):
+            api.write_external(f"bench/art{index}.bin", payload)
+            api.sys.read_file(f"/storage/sdcard/bench/art{index}.bin")
+            api.insert(WORDS, ContentValues({"word": f"w{index}"}))
+        spans = obs.spans()
+    return layer_section(spans)
+
+
+def write_bench_json(path: str, trials: int) -> None:
+    """Emit the machine-readable artifact next to the printed tables."""
+    from repro.obs.artifacts import update_bench_json
+
+    update_bench_json(path, "layers", bench_layers(trials))
+    # The disabled-gate ratio sections (gate_overhead_obs/faults) are
+    # contributed by the overhead regressions when run with
+    # BENCH_OBS_JSON pointing at the same file.
+    update_bench_json(path, "meta", {"trials": trials, "source": "report_tables"})
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=40, help="trials per micro-op")
     parser.add_argument("--out", type=str, default=None, help="also write to this file")
+    parser.add_argument(
+        "--bench-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write machine-readable per-layer self-times to PATH "
+        "(BENCH_obs.json convention; merged with existing sections)",
+    )
     args = parser.parse_args()
     sections = [
         table1(),
@@ -528,6 +565,8 @@ def main() -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
+    if args.bench_json:
+        write_bench_json(args.bench_json, args.trials)
     return 0
 
 

@@ -164,6 +164,19 @@ class ActivityManagerService:
             initiator = None  # an app invoked by itself runs normally
         self._kill_conflicting(target, initiator)
         process = self._zygote.fork_app(target, initiator)
+        if _OBS.enabled:
+            # Tag the open am.start_activity span with the invoked context
+            # *before* the handler runs, so streaming consumers (the
+            # security monitor reads ctx off open ancestors at span close)
+            # see the same attribution the finished-tree walk does.
+            current = _OBS.tracer.current
+            if current is not None and current.name == "am.start_activity":
+                current.set(target=target, ctx=str(process.context))
+        if _OBS.prov:
+            # Intent extras flow the caller's taint into the new process.
+            _OBS.provenance.intent_flow(
+                caller.pid, process.pid, str(caller.context), str(process.context)
+            )
         self._in_flight.add(process.pid)
         if _FAULTS.enabled:
             _FAULTS.hit(

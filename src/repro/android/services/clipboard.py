@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.kernel.proc import Process
+from repro.obs import OBS as _OBS
 
 
 class ClipboardService:
@@ -37,15 +38,19 @@ class ClipboardService:
         return self._MAIN
 
     def set_text(self, process: Process, text: str) -> None:
-        self._clips[self._domain(process)] = text
+        domain = self._domain(process)
+        self._clips[domain] = text
+        if _OBS.prov:
+            _OBS.provenance.clip_set(process.pid, str(process.context), domain)
 
     def get_text(self, process: Process) -> Optional[str]:
         domain = self._domain(process)
-        if domain in self._clips:
-            return self._clips[domain]
-        # A delegate's first paste sees the pre-confinement clipboard
-        # content (initial state availability, U1): fork from main.
-        self._clips[domain] = self._clips[self._MAIN]
+        if domain not in self._clips:
+            # A delegate's first paste sees the pre-confinement clipboard
+            # content (initial state availability, U1): fork from main.
+            self._clips[domain] = self._clips[self._MAIN]
+        if _OBS.prov:
+            _OBS.provenance.clip_get(process.pid, str(process.context), domain)
         return self._clips[domain]
 
     def clear_domain(self, initiator: str) -> None:

@@ -54,7 +54,18 @@ class Zygote:
         the branch manager, stamp sysfs, drop privilege to the app UID.
         """
         if _OBS.enabled:
-            with _OBS.tracer.span("zygote.fork", app=package, initiator=initiator):
+            # Self-tag the resulting context (same rules the impl applies)
+            # so the fork is attributed identically whether the sweep reads
+            # it from the finished tree or the monitor from the live stack.
+            effective = (
+                initiator
+                if self._maxoid_enabled and initiator not in (None, package)
+                else None
+            )
+            ctx = f"{package}^{effective}" if effective else package
+            with _OBS.tracer.span(
+                "zygote.fork", app=package, initiator=initiator, ctx=ctx
+            ):
                 _OBS.metrics.count("zygote.forks")
                 return self._fork_app_impl(package, initiator)
         return self._fork_app_impl(package, initiator)
@@ -81,5 +92,7 @@ class Zygote:
         )
         self._processes.register(process)
         self._sysfs.write_context(process.pid, package, effective_initiator, ROOT_CRED)
+        if _OBS.prov:
+            _OBS.provenance.fork(process.pid, str(context))
         self.forks += 1
         return process

@@ -13,6 +13,7 @@ confinement failure.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -248,10 +249,11 @@ def figure1_flow_matrix(device: Any, initiator_pkg: str, delegate_pkg: str) -> L
 
 @dataclass
 class AuditEvent:
-    """One audited event: an injected fault or a recovery action."""
+    """One audited event: an injected fault, a recovery action, or a
+    security violation flagged by the online monitor."""
 
     seq: int
-    category: str  # "fault" or "recovery"
+    category: str  # "fault", "recovery", or "violation"
     message: str
     details: Dict[str, Any] = field(default_factory=dict)
 
@@ -259,6 +261,25 @@ class AuditEvent:
         detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
         return f"[{self.seq:04d}] {self.category}: {self.message}" + (
             f" ({detail})" if detail else ""
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (details copied, not shared — lineage lists
+        included, so mutating the dict cannot corrupt the log)."""
+        return {
+            "seq": self.seq,
+            "category": self.category,
+            "message": self.message,
+            "details": copy.deepcopy(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AuditEvent":
+        return cls(
+            seq=int(data["seq"]),
+            category=str(data["category"]),
+            message=str(data["message"]),
+            details=copy.deepcopy(data.get("details", {})),
         )
 
 
@@ -305,10 +326,27 @@ class AuditLog:
             added += 1
         return added
 
+    def record_violation(
+        self,
+        rule: str,
+        message: str,
+        lineage: Optional[List[str]] = None,
+        **details: Any,
+    ) -> AuditEvent:
+        """Record one S1-S4 violation from the security monitor, keeping
+        the provenance derivation chain alongside the verdict."""
+        return self.record(
+            "violation", message, rule=rule, lineage=list(lineage or []), **details
+        )
+
     def events(self, category: Optional[str] = None) -> List[AuditEvent]:
         if category is None:
             return list(self._events)
         return [e for e in self._events if e.category == category]
+
+    def violations(self) -> List[AuditEvent]:
+        """Just the security-violation entries, in order."""
+        return self.events("violation")
 
     def render(self) -> str:
         """The post-mortem trace, one line per event."""

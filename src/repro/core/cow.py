@@ -468,8 +468,16 @@ class CowProxy:
             self.stats.volatile_inserts += 1
             delta = self.delta_name(name, initiator)
             pk = self._tables[name.lower()].pk
-            return int(self.db.execute(f"SELECT MAX({pk}) FROM {delta}").scalar() or 0)
-        return int(result.lastrowid or 0)
+            row_id = int(self.db.execute(f"SELECT MAX({pk}) FROM {delta}").scalar() or 0)
+            if _OBS.prov:
+                _OBS.provenance.row_write(
+                    delta, row_id, op="cow.insert", initiator=initiator
+                )
+            return row_id
+        row_id = int(result.lastrowid or 0)
+        if _OBS.prov:
+            _OBS.provenance.row_write(name.lower(), row_id, op="cow.insert")
+        return row_id
 
     def update(
         self,
@@ -550,7 +558,12 @@ class CowProxy:
         sql = f"INSERT INTO {delta} ({', '.join(columns)}) VALUES ({placeholders})"
         result = self.db.execute(sql, list(values.values()) + [0])
         self.stats.volatile_inserts += 1
-        return int(result.lastrowid or 0)
+        row_id = int(result.lastrowid or 0)
+        if _OBS.prov:
+            _OBS.provenance.row_write(
+                delta, row_id, op="cow.insert_volatile", initiator=initiator
+            )
+        return row_id
 
     def volatile_rows(
         self,
@@ -689,7 +702,15 @@ class CowProxy:
                 _encode_payload(record),
             ],
         )
-        return {"jid": result.lastrowid, "tbl": primary.name, "record": record}
+        return {
+            "jid": result.lastrowid,
+            "tbl": primary.name,
+            "record": record,
+            "pk": primary.pk,
+            "delta": delta,
+            "delta_pk": row_id,
+            "initiator": initiator,
+        }
 
     def _apply_record(self, table: str, record: Dict[str, object]) -> None:
         columns = list(record)
@@ -705,6 +726,16 @@ class CowProxy:
             if _FAULTS.enabled:
                 _FAULTS.hit("cow.delta_commit.apply", table=entry["tbl"])
             self._apply_record(entry["tbl"], entry["record"])
+            if _OBS.prov and "delta" in entry:
+                # `recover()` replays from the journal payload alone (no
+                # delta keys), so only fresh commits carry lineage.
+                _OBS.provenance.row_commit(
+                    entry["tbl"],
+                    entry["record"][entry["pk"]],
+                    entry["delta"],
+                    entry["delta_pk"],
+                    entry["initiator"],
+                )
             if _FAULTS.enabled:
                 _FAULTS.hit("cow.delta_commit.truncate", table=entry["tbl"])
             self.db.execute(

@@ -52,7 +52,7 @@ from repro.kernel.syscall import Syscalls
 from repro.kernel.sysfs import Sysfs
 from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
 from repro.obs import OBS
-from repro.obs.sweep import sweep as trace_sweep
+from repro.obs.monitor import SecurityMonitor
 
 
 @dataclass
@@ -347,30 +347,38 @@ class Device:
             handle.write(intent.data)
 
     def _validation_sweep(self) -> Tuple[List[str], int]:
-        """Probe every live app process's view under tracing, then replay
-        the S1/S2 sweep over what the instrumented layers actually did.
+        """Probe every live app process's view with the online security
+        monitor attached: S1-S4 are checked as each span closes, with the
+        provenance ledger armed so any violation lands in the audit log
+        carrying its full lineage chain.
 
         Note: runs inside ``OBS.capture``, which resets the global tracer —
         callers should not invoke ``recover(validate=True)`` while holding
         an open capture of their own.
         """
-        with OBS.capture(ring_capacity=32768) as obs:
-            for process in list(self.processes.alive()):
-                if process.context.app is None:
-                    continue
-                sys = Syscalls(process)
-                probe = vpath.join(EXTDIR, f".maxoid-probe-{process.pid}")
-                try:
-                    sys.write_file(probe, b"probe", mode=0o666)
-                    sys.read_file(probe)
-                    sys.unlink(probe)
-                except ReproError:
-                    # A view that denies the probe is a confinement success,
-                    # not a recovery failure.
-                    continue
-            trees = obs.trees()
         packages = [p.manifest.package for p in self.packages.all_packages()]
-        return trace_sweep(trees, packages)
+        with OBS.capture(ring_capacity=32768, prov=True) as obs:
+            monitor = SecurityMonitor(
+                obs.tracer,
+                packages,
+                ledger=obs.provenance,
+                audit_log=self.audit_log,
+            )
+            with monitor:
+                for process in list(self.processes.alive()):
+                    if process.context.app is None:
+                        continue
+                    sys = Syscalls(process)
+                    probe = vpath.join(EXTDIR, f".maxoid-probe-{process.pid}")
+                    try:
+                        sys.write_file(probe, b"probe", mode=0o666)
+                        sys.read_file(probe)
+                        sys.unlink(probe)
+                    except ReproError:
+                        # A view that denies the probe is a confinement
+                        # success, not a recovery failure.
+                        continue
+        return monitor.messages, monitor.delegate_spans
 
     # ------------------------------------------------------------------
     # Background work pumps

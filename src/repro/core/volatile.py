@@ -125,6 +125,11 @@ class VolatileFiles:
             _FAULTS.hit("vol.commit.apply", initiator=self._package, path=destination)
         self._sys.makedirs(vpath.parent(destination))
         self._sys.write_file(destination, data)
+        if _OBS.prov:
+            # Link destination to the volatile source directly, so
+            # explain() shows the commit edge even when the reading and
+            # writing process taints have mixed other labels in.
+            _OBS.provenance.commit_file(tmp_path, destination, self._package or "")
         if _FAULTS.enabled:
             _FAULTS.hit(
                 "vol.commit.truncate", initiator=self._package, path=destination

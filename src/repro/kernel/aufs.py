@@ -284,6 +284,13 @@ class AufsMount(FilesystemAPI):
         if _FAULTS.enabled:
             _FAULTS.hit("aufs.copy_up.publish", mount=self.label, path=union_path)
         branch.fs.rename(staging, target, ROOT_CRED)
+        if _OBS.prov:
+            _OBS.provenance.copy_up(
+                stat.ino,
+                branch.fs.stat(target, ROOT_CRED).ino,
+                union_path,
+                mount=self.label,
+            )
         self.copy_up_count += 1
         self.copy_up_bytes += len(data)
         if span is not None:

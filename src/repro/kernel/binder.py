@@ -144,6 +144,14 @@ class BinderDriver:
         self.transaction_log.append(transaction)
         if _OBS.enabled:
             _OBS.metrics.count("binder.transactions")
+        if _OBS.prov:
+            # Work the endpoint does on the sender's behalf (clipboard,
+            # providers) must taint/stamp as the *sender*, not the service.
+            _OBS.provenance.push_actor(str(sender.context), sender.pid)
+            try:
+                return endpoint.handler(transaction)
+            finally:
+                _OBS.provenance.pop_actor()
         return endpoint.handler(transaction)
 
     def _live_endpoint(self, target: str) -> BinderEndpoint:

@@ -58,6 +58,17 @@ class Syscalls:
         accmode = flags & 0o3
         read = accmode in (O_RDONLY, O_RDWR)
         write = accmode in (O_WRONLY, O_RDWR)
+        if _OBS.prov:
+            # Copy-up may fire inside fs.open(); the actor stack tells the
+            # ledger which process the copied data is flowing on behalf of.
+            _OBS.provenance.push_actor(str(self.process.context), self.process.pid)
+            try:
+                return self._fs_open(fs, inner, read, write, flags, mode)
+            finally:
+                _OBS.provenance.pop_actor()
+        return self._fs_open(fs, inner, read, write, flags, mode)
+
+    def _fs_open(self, fs, inner: str, read: bool, write: bool, flags: int, mode: int) -> FileHandle:
         return fs.open(
             inner,
             self.process.cred,
@@ -127,7 +138,12 @@ class Syscalls:
 
     def _read_file_impl(self, path: str) -> bytes:
         with self.open(path, O_RDONLY) as handle:
-            return handle.read()
+            data = handle.read()
+            if _OBS.prov:
+                _OBS.provenance.read(
+                    self.process.pid, str(self.process.context), path, ino=handle.ino
+                )
+            return data
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> None:
         if _FAULTS.enabled:
@@ -144,6 +160,10 @@ class Syscalls:
     def _write_file_impl(self, path: str, data: bytes, mode: int = 0o644) -> None:
         with self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode=mode) as handle:
             handle.write(data)
+            if _OBS.prov:
+                _OBS.provenance.write(
+                    self.process.pid, str(self.process.context), path, ino=handle.ino
+                )
 
     def append_file(self, path: str, data: bytes) -> None:
         if _FAULTS.enabled:
@@ -155,11 +175,16 @@ class Syscalls:
             ):
                 _OBS.metrics.count("vfs.write")
                 _OBS.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
-                with self.open(path, O_WRONLY | O_APPEND) as handle:
-                    handle.write(data)
-                return
+                return self._append_file_impl(path, data)
+        return self._append_file_impl(path, data)
+
+    def _append_file_impl(self, path: str, data: bytes) -> None:
         with self.open(path, O_WRONLY | O_APPEND) as handle:
             handle.write(data)
+            if _OBS.prov:
+                _OBS.provenance.write(
+                    self.process.pid, str(self.process.context), path, ino=handle.ino
+                )
 
     def copy_file(self, src: str, dst: str, mode: int = 0o644) -> None:
         self.write_file(dst, self.read_file(src), mode=mode)

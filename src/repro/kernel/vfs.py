@@ -170,6 +170,11 @@ class FileHandle:
     def inode(self) -> Inode:
         return self._inode
 
+    @property
+    def ino(self) -> int:
+        """Inode number — globally unique across simulated filesystems."""
+        return self._inode.ino
+
     def _check_open(self) -> None:
         if self._closed:
             raise BadFileDescriptor("file handle is closed")

@@ -134,7 +134,18 @@ class Database:
             raise SqlError(
                 f"statement requires {required} parameters, got {len(params)}: {sql!r}"
             )
-        return self._dispatch(statement, list(params))
+        result = self._dispatch(statement, list(params))
+        if (
+            _OBS.prov
+            and isinstance(statement, ast.Insert)
+            and result.lastrowid is not None
+        ):
+            # Raw inserts (outside the COW proxy) still stamp the row, so
+            # provider state written directly is never label-less.
+            _OBS.provenance.row_write(
+                statement.table.lower(), result.lastrowid, op="sql.insert"
+            )
+        return result
 
     def executemany(self, sql: str, param_rows: Sequence[Sequence[object]]) -> ResultSet:
         """Execute ``sql`` once per parameter row; returns the last result."""

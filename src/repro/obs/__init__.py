@@ -22,15 +22,29 @@ Span taxonomy (the prefix is the layer):
   ``delete``/``commit``/``discard``
 - ``sql.*``     — mini SQL engine: ``sql.execute``
 - ``vol.*``     — volatile-state management: ``vol.commit``
+- ``prov.*``    — provenance ledger (needs ``OBS.prov``): ``prov.read``,
+  ``prov.write``, ``prov.copy_up``, ``prov.commit_file``,
+  ``prov.row_write``, ``prov.row_commit``, ``prov.clip_set``,
+  ``prov.clip_get``, ``prov.fork``, ``prov.intent_flow``
+
+Provenance tracking (:mod:`repro.obs.provenance`) sits behind its own
+``OBS.prov`` sub-switch layered on top of ``OBS.enabled``: with it off,
+every hot path pays the same single attribute load as before. With it
+armed, reads join object labels into the reading process's taint set,
+writes stamp the destination, and the streaming
+:class:`~repro.obs.monitor.SecurityMonitor` can attach S1-S4 checks to
+each closing span with :meth:`~repro.obs.provenance.ProvenanceLedger
+.explain` lineage.
 
 Typical use::
 
     from repro.obs import OBS
 
-    with OBS.capture() as obs:
+    with OBS.capture(prov=True) as obs:
         device.launch_as_delegate(...)
         trees = obs.tracer.trees()
         delta = obs.metrics.snapshot()  # capture() starts from zero
+        print(obs.provenance.explain("/storage/sdcard/out.pdf").render())
 """
 
 from __future__ import annotations
@@ -57,11 +71,16 @@ from repro.obs.report import (
     layer_self_times,
     span_time,
 )
+from repro.obs.monitor import SecurityMonitor
+from repro.obs.provenance import Label, Lineage, ProvenanceLedger
 from repro.obs.sweep import (
+    Violation,
+    evaluate_span,
     parse_delegate_ctx,
     priv_owner,
     spans_with_inherited_ctx,
     sweep,
+    sweep_violations,
 )
 from repro.obs.trace import (
     JsonlSink,
@@ -74,9 +93,16 @@ from repro.obs.trace import (
 
 __all__ = [
     "sweep",
+    "sweep_violations",
+    "evaluate_span",
     "spans_with_inherited_ctx",
     "parse_delegate_ctx",
     "priv_owner",
+    "Violation",
+    "Label",
+    "Lineage",
+    "ProvenanceLedger",
+    "SecurityMonitor",
     "OBS",
     "Observability",
     "Tracer",
@@ -109,41 +135,68 @@ class Observability:
     def __init__(self) -> None:
         self.tracer = Tracer()
         self.metrics = Metrics()
+        self.provenance = ProvenanceLedger(tracer=self.tracer)
         self.enabled = False
+        #: Sub-switch for the provenance ledger; hot paths check this one
+        #: attribute before building any label machinery.
+        self.prov = False
+        self._jsonl_path: Optional[str] = None
+        self._ring_capacity = 8192
 
     def enable(self, jsonl_path: Optional[str] = None, ring_capacity: int = 8192) -> None:
         """Turn instrumentation on (idempotent)."""
         self.tracer.enable(jsonl_path=jsonl_path, capacity=ring_capacity)
         self.enabled = True
+        self._jsonl_path = jsonl_path
+        self._ring_capacity = ring_capacity
+
+    def enable_prov(self) -> None:
+        """Arm provenance tracking (implies :meth:`enable` if needed)."""
+        if not self.enabled:
+            self.enable()
+        self.prov = True
 
     def disable(self) -> None:
         """Turn instrumentation off; closes any JSONL sink."""
         self.tracer.disable()
         self.enabled = False
+        self.prov = False
 
     def reset(self) -> None:
-        """Drop recorded spans and all metric values."""
+        """Drop recorded spans, all metric values, and the taint ledger."""
         self.tracer.clear()
         self.metrics.reset()
+        self.provenance.reset()
 
     @contextmanager
     def capture(
-        self, jsonl_path: Optional[str] = None, ring_capacity: int = 8192
+        self,
+        jsonl_path: Optional[str] = None,
+        ring_capacity: int = 8192,
+        prov: bool = False,
     ) -> Iterator["Observability"]:
         """Enable from a clean slate for the duration of a ``with`` block.
 
-        Restores the previous enabled/disabled state afterwards, so tests
-        and benchmarks can nest captures without leaking global state.
+        Restores the previous configuration afterwards — including a
+        JSONL sink path or custom ring capacity the instance was enabled
+        with before — so tests and benchmarks can nest captures without
+        leaking or clobbering global state. ``prov=True`` additionally
+        arms the provenance ledger for the block.
         """
         was_enabled = self.enabled
+        was_prov = self.prov
+        prior_jsonl = self._jsonl_path
+        prior_capacity = self._ring_capacity
         self.reset()
         self.enable(jsonl_path=jsonl_path, ring_capacity=ring_capacity)
+        self.prov = prov
         try:
             yield self
         finally:
             self.disable()
             if was_enabled:
-                self.enable()
+                self.enable(jsonl_path=prior_jsonl, ring_capacity=prior_capacity)
+                self.prov = was_prov
 
     # -- conveniences over the pair -------------------------------------
 

@@ -14,6 +14,7 @@ warm-up window from a measurement window.
 from __future__ import annotations
 
 import bisect
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -198,6 +199,23 @@ def diff(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnapshot:
     return after - before
 
 
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus text format: invalid
+    characters collapse to ``_`` and a leading digit gains a prefix."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_number(value: float) -> str:
+    """Render a float the way Prometheus expects (integral values bare)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
 class Metrics:
     """Registry of named metrics, created on first use."""
 
@@ -258,6 +276,38 @@ class Metrics:
     @staticmethod
     def diff(before: MetricsSnapshot, after: MetricsSnapshot) -> MetricsSnapshot:
         return diff(before, after)
+
+    def to_prometheus_text(self) -> str:
+        """The registry in the Prometheus exposition text format.
+
+        Counters gain the conventional ``_total`` suffix, histograms emit
+        cumulative ``_bucket{le="..."}`` series ending at ``+Inf`` plus
+        ``_sum``/``_count``, and every name is sanitized to the legal
+        ``[a-zA-Z0-9_:]`` character set.
+        """
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            metric = _prom_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_number(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for edge, bucket in zip(hist.boundaries, hist.counts):
+                cumulative += bucket
+                lines.append(
+                    f'{metric}_bucket{{le="{_prom_number(edge)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{metric}_sum {_prom_number(hist.total)}")
+            lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:
         self._counters.clear()

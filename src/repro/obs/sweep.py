@@ -1,22 +1,31 @@
-"""The S1/S2 trace sweep: security invariants re-checked from span trees.
+"""The S1-S4 security rule engine, shared by sweep and monitor.
 
-Given the trees recorded during a workload, :func:`sweep` mechanically
-replays the paper's confinement goals over every span: no span attributed
-to a delegate context ``B^A`` may carry a virtual path under another
-package's Priv (S1), and no union mount observed under a delegate context
-may resolve its writable branch into a root keyed to a foreign package
-(S2). The same property the integration suite asserts behaviourally — but
-checked against what the instrumented layers actually *did*.
+Given spans recorded during a workload, :func:`evaluate_span`
+mechanically replays the paper's confinement goals over each one:
 
-This module is shared by the trace-invariant test suite and by
-``Device.recover()``, which re-validates the goals after crash recovery
-(the fault plane's "no security-goal violation after any crash"
-criterion).
+- **S1** (initiator secrecy): no span attributed to a delegate context
+  ``B^A`` may carry a virtual path under another package's Priv; and —
+  with a provenance ledger armed — no non-delegate write may publish
+  data whose taint derives from a foreign package's Priv.
+- **S2** (initiator integrity): no union mount observed under a delegate
+  context may resolve its writable branch into a root keyed to a
+  foreign package.
+- **S3** (delegate secrecy): no plain app context may successfully read
+  a path under another package's Priv.
+- **S4** (delegate integrity): no plain app context may successfully
+  write into another package's Priv.
+
+The same predicates back the *offline* :func:`sweep` over finished span
+trees (used by the trace-invariant suite and ``Device.recover()``) and
+the *online* :class:`repro.obs.monitor.SecurityMonitor`, which evaluates
+every span the moment it closes — one rule engine, two drive modes, so
+the two checkers can never drift apart.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.obs.trace import SpanNode
 
@@ -26,11 +35,14 @@ PPRIV_SEGMENT = "ppriv"
 __all__ = [
     "DATA_PREFIX",
     "PPRIV_SEGMENT",
+    "Violation",
+    "evaluate_span",
     "foreign_keys",
     "parse_delegate_ctx",
     "priv_owner",
     "spans_with_inherited_ctx",
     "sweep",
+    "sweep_violations",
     "writable_root_violations",
 ]
 
@@ -41,6 +53,24 @@ def _initiator_key(package: str) -> str:
     import re
 
     return re.sub(r"\W", "_", package)
+
+
+@dataclass
+class Violation:
+    """One security-goal violation found by the rule engine."""
+
+    rule: str  # "S1" | "S2" | "S3" | "S4"
+    span: str
+    ctx: Optional[str]
+    message: str
+    #: Provenance derivation chain (empty without a ledger).
+    lineage: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The violation with its lineage chain, if any."""
+        if not self.lineage:
+            return f"{self.rule}: {self.message}"
+        return f"{self.rule}: {self.message}\n    " + " <- ".join(self.lineage)
 
 
 def spans_with_inherited_ctx(
@@ -91,11 +121,11 @@ def foreign_keys(all_packages, delegate: str, initiator: str):
     }
 
 
-def writable_root_violations(node, ctx_pair, foreign):
+def writable_root_violations(attrs: Dict[str, Any], foreign):
     """A delegate's writable branch root must never be keyed to another
     package: neither a foreign per-app area (``/<key>/...``) nor a pair
     area with a foreign initiator (``.../<x>@<key>/...``)."""
-    root = node.span.attrs.get("writable_root")
+    root = attrs.get("writable_root")
     if not root:
         return []
     hits = []
@@ -107,31 +137,126 @@ def writable_root_violations(node, ctx_pair, foreign):
     return hits
 
 
-def sweep(trees, all_packages) -> Tuple[List[str], int]:
-    """Replay the S1/S2 confinement check over every recorded span.
+def _is_write_span(name: str, attrs: Dict[str, Any]) -> bool:
+    if name == "vfs.write" or name == "vol.commit":
+        return True
+    return name == "aufs.open" and bool(attrs.get("write"))
+
+
+def evaluate_span(
+    name: str,
+    attrs: Dict[str, Any],
+    status: str,
+    ctx: Optional[str],
+    all_packages,
+    ledger: Optional[Any] = None,
+) -> Tuple[List[Violation], bool]:
+    """Apply every S1-S4 predicate to one span.
+
+    Returns ``(violations, is_delegate_span)``; the flag feeds the
+    positive-control count that the caller actually saw confined work.
+    ``ledger`` is an optional :class:`repro.obs.provenance
+    .ProvenanceLedger` enabling the taint-flow form of S1 (publishing
+    data derived from a foreign Priv) with full lineage attached.
+    """
+    violations: List[Violation] = []
+    # prov.* bookkeeping events mirror the span they ran under; evaluating
+    # them too would double-count every finding.
+    if status != "ok" or name.startswith("prov."):
+        return violations, False
+    path = attrs.get("path", "") or ""
+    pair = parse_delegate_ctx(ctx)
+    if pair is not None:
+        delegate, initiator = pair
+        owner = priv_owner(path)
+        if owner is not None and owner not in (delegate, initiator):
+            violations.append(
+                Violation(
+                    "S1", name, ctx,
+                    f"{name} in ctx {ctx} touched Priv({owner}): {path}",
+                )
+            )
+        for root, pkg in writable_root_violations(
+            attrs, foreign_keys(all_packages, delegate, initiator)
+        ):
+            violations.append(
+                Violation(
+                    "S2", name, ctx,
+                    f"{name} in ctx {ctx} writes into a branch keyed to "
+                    f"{pkg}: {root}",
+                )
+            )
+        return violations, True
+    # Non-delegate rules only apply to contexts that are installed
+    # packages: the system process (ctx "system") legitimately reaches
+    # into provider-owned files on apps' behalf.
+    if ctx is None or ctx not in all_packages:
+        return violations, False
+    app = ctx
+    owner = priv_owner(path)
+    if owner is not None and owner != app:
+        if _is_write_span(name, attrs):
+            violations.append(
+                Violation(
+                    "S4", name, ctx,
+                    f"{name} in ctx {ctx} wrote into Priv({owner}): {path}",
+                )
+            )
+        else:
+            violations.append(
+                Violation(
+                    "S3", name, ctx,
+                    f"{name} in ctx {ctx} read Priv({owner}): {path}",
+                )
+            )
+    if ledger is not None and _is_write_span(name, attrs):
+        destination = attrs.get("destination") or path
+        if destination and priv_owner(destination) is None:
+            foreign = sorted(
+                str(label)
+                for label in ledger.taint_of(destination)
+                if (label.kind == "priv" and label.owner != app)
+                or (label.kind == "dpriv" and label.via != app)
+            )
+            if foreign:
+                lineage = ledger.explain(destination)
+                violations.append(
+                    Violation(
+                        "S1", name, ctx,
+                        f"{name} in ctx {ctx} published data derived from "
+                        f"{', '.join(foreign)} to public {destination}",
+                        lineage=list(lineage.steps),
+                    )
+                )
+    return violations, False
+
+
+def sweep_violations(
+    trees, all_packages, ledger: Optional[Any] = None
+) -> Tuple[List[Violation], int]:
+    """Replay the rule engine over every recorded span (offline mode).
 
     Returns ``(violations, delegate_span_count)``; the count is the
     positive control that the sweep actually saw confined work.
     """
-    violations: List[str] = []
+    violations: List[Violation] = []
     delegate_spans = 0
+    packages = set(all_packages)
     for node, ctx in spans_with_inherited_ctx(trees):
-        pair = parse_delegate_ctx(ctx)
-        if pair is None or node.span.status != "ok":
-            continue
-        delegate_spans += 1
-        delegate, initiator = pair
-        owner = priv_owner(node.span.attrs.get("path", ""))
-        if owner is not None and owner not in (delegate, initiator):
-            violations.append(
-                f"{node.name} in ctx {ctx} touched Priv({owner}): "
-                f"{node.span.attrs['path']}"
-            )
-        for root, pkg in writable_root_violations(
-            node, pair, foreign_keys(all_packages, delegate, initiator)
-        ):
-            violations.append(
-                f"{node.name} in ctx {ctx} writes into a branch keyed to "
-                f"{pkg}: {root}"
-            )
+        found, counted = evaluate_span(
+            node.span.name, node.span.attrs, node.span.status, ctx, packages, ledger
+        )
+        violations.extend(found)
+        if counted:
+            delegate_spans += 1
     return violations, delegate_spans
+
+
+def sweep(trees, all_packages, ledger: Optional[Any] = None) -> Tuple[List[str], int]:
+    """Replay the confinement check over every recorded span.
+
+    Message-only variant of :func:`sweep_violations`, kept for callers
+    that treat violations as opaque strings.
+    """
+    violations, delegate_spans = sweep_violations(trees, all_packages, ledger)
+    return [v.message for v in violations], delegate_spans

@@ -204,6 +204,7 @@ class Tracer:
         self.enabled = False
         self.ring = RingBufferSink()
         self._sinks: List[Any] = [self.ring]
+        self._listeners: List[Any] = []
         self._stack: List[Span] = []
         self._ids = itertools.count(1)
 
@@ -230,6 +231,23 @@ class Tracer:
 
     def add_sink(self, sink: Any) -> None:
         self._sinks.append(sink)
+
+    def add_listener(self, fn: Any) -> None:
+        """Register ``fn(span)`` to run as each span finishes.
+
+        Listeners are lighter-weight than sinks: plain callables with no
+        ``clear``/``close`` protocol, kept across ``enable``/``disable``
+        cycles, and invoked *after* sinks while the span's open ancestors
+        are still on the stack — streaming consumers (e.g. the security
+        monitor) can therefore read inherited attributes off ancestors.
+        """
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Any) -> None:
+        """Unregister a listener added via :meth:`add_listener`."""
+        if fn in self._listeners:
+            self._listeners.remove(fn)
 
     def clear(self) -> None:
         """Drop recorded spans (the JSONL file, if any, is untouched)."""
@@ -274,6 +292,8 @@ class Tracer:
             self._stack.remove(span)
         for sink in self._sinks:
             sink.on_span(span)
+        for listener in self._listeners:
+            listener(span)
 
     @property
     def current(self) -> Optional[Span]:

@@ -1,0 +1,107 @@
+"""Unit tests for the AuditLog itself: ordering, category filtering, and
+the violation-with-lineage round trip.
+
+The integration suites exercise the log through recover() and the
+security monitor; these tests pin its contract directly so a change to
+sequencing or serialisation fails close to the cause.
+"""
+
+import pytest
+
+from repro.core.audit import AuditEvent, AuditLog
+
+pytestmark = pytest.mark.faults
+
+
+def test_sequence_numbers_are_monotonic_across_categories():
+    log = AuditLog()
+    log.record("fault", "first")
+    log.record("recovery", "second")
+    log.record_violation("S1", "third")
+    seqs = [e.seq for e in log.events()]
+    assert seqs == sorted(seqs) == [1, 2, 3]
+    assert len(log) == 3
+
+
+def test_events_filters_by_category_and_preserves_order():
+    log = AuditLog()
+    log.record("fault", "f1")
+    log.record("recovery", "r1")
+    log.record("fault", "f2")
+    log.record_violation("S3", "v1")
+    assert [e.message for e in log.events("fault")] == ["f1", "f2"]
+    assert [e.message for e in log.events("recovery")] == ["r1"]
+    assert [e.message for e in log.violations()] == ["v1"]
+    assert [e.message for e in log.events()] == ["f1", "r1", "f2", "v1"]
+
+
+def test_record_violation_keeps_rule_lineage_and_extra_details():
+    log = AuditLog()
+    chain = ["vol(a) /sdcard/x", "vfs.read of /data/data/a/doc", "source Priv(a)"]
+    event = log.record_violation(
+        "S1", "delegate touched foreign priv", lineage=chain, span="vfs.read",
+        ctx="b^a",
+    )
+    assert event.category == "violation"
+    assert event.details["rule"] == "S1"
+    assert event.details["lineage"] == chain
+    assert event.details["lineage"] is not chain  # defensive copy
+    assert event.details["span"] == "vfs.read"
+    assert event.details["ctx"] == "b^a"
+
+
+def test_violation_round_trips_through_dict():
+    log = AuditLog()
+    original = log.record_violation(
+        "S4", "wrote into Priv(x)", lineage=["step one", "source Priv(x)"],
+        span="vfs.write",
+    )
+    data = original.to_dict()
+    restored = AuditEvent.from_dict(data)
+    assert restored == original
+    # The dict form is detached from the live event.
+    data["details"]["lineage"].append("tampered")
+    assert original.details["lineage"] == ["step one", "source Priv(x)"]
+
+
+def test_render_includes_seq_category_and_details():
+    log = AuditLog()
+    log.record("recovery", "replayed journal", table="words", entries=3)
+    log.record_violation("S2", "foreign writable root")
+    text = log.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("[0001] recovery: replayed journal")
+    assert "entries=3" in lines[0] and "table='words'" in lines[0]
+    assert lines[1].startswith("[0002] violation: foreign writable root")
+    assert "rule='S2'" in lines[1]
+
+
+def test_ingest_faults_skips_already_seen_entries():
+    class _Plane:
+        injection_log = [
+            {"seq": 1, "outcome": "crash", "point": "cow.commit", "hit": 1,
+             "policy": "once", "ctx": {"table": "words"}},
+            {"seq": 2, "outcome": "error", "point": "vfs.write", "hit": 3},
+        ]
+
+    log = AuditLog()
+    assert log.ingest_faults(_Plane()) == 2
+    assert log.ingest_faults(_Plane()) == 0  # idempotent re-ingest
+    faults = log.events("fault")
+    assert len(faults) == 2
+    assert faults[0].details["point"] == "cow.commit"
+    assert faults[0].details["table"] == "words"
+
+
+def test_clear_resets_sequence_and_ingest_memory():
+    class _Plane:
+        injection_log = [{"seq": 7, "outcome": "crash", "point": "p", "hit": 1}]
+
+    log = AuditLog()
+    log.ingest_faults(_Plane())
+    log.record_violation("S1", "x")
+    log.clear()
+    assert len(log) == 0 and log.events() == []
+    fresh = log.record("recovery", "post-clear")
+    assert fresh.seq == 1
+    assert log.ingest_faults(_Plane()) == 1  # seen-set was cleared too

@@ -17,13 +17,16 @@ import pytest
 from repro.android.intents import Intent
 from repro.core.cow import initiator_key
 from repro.obs import OBS
-# The sweep machinery lives in repro.obs.sweep so that Device.recover()
-# can re-run the same invariant check after crash recovery.
+from repro.obs.monitor import SecurityMonitor
+# The rule engine lives in repro.obs.sweep so that the offline sweep
+# (Device.recover() included) and the online SecurityMonitor share one
+# set of S1-S4 predicates.
 from repro.obs.sweep import (
     DATA_PREFIX,
     parse_delegate_ctx,
     spans_with_inherited_ctx,
     sweep,
+    sweep_violations,
 )
 
 pytestmark = pytest.mark.trace
@@ -91,14 +94,20 @@ def run_table1_delegates(env):
 
 @pytest.fixture
 def table1_trace(loaded_device):
-    """All Table 1 delegate scenarios executed under one capture."""
+    """All Table 1 delegate scenarios executed under one capture, with
+    the online monitor attached so every test can compare the streaming
+    verdicts against the offline sweep's."""
     # CamScanner needs the attachment image staged before it is spawned
     # confined; receive_attachment handles that inside the capture.
-    with OBS.capture(ring_capacity=65536) as obs:
-        run_table1_delegates(loaded_device)
+    with OBS.capture(ring_capacity=65536, prov=True) as obs:
+        monitor = SecurityMonitor(
+            obs.tracer, list(loaded_device.apps), ledger=obs.provenance
+        )
+        with monitor:
+            run_table1_delegates(loaded_device)
         trees = obs.trees()
         assert obs.tracer.ring.dropped == 0, "ring too small for the sweep"
-    return loaded_device, trees
+    return loaded_device, trees, monitor
 
 
 # ----------------------------------------------------------------------
@@ -106,7 +115,7 @@ def table1_trace(loaded_device):
 # ----------------------------------------------------------------------
 
 def test_no_delegate_span_touches_a_foreign_priv(table1_trace):
-    env, trees = table1_trace
+    env, trees, _ = table1_trace
     violations, delegate_spans = sweep(trees, list(env.apps))
     assert delegate_spans > 50, (
         "positive control failed: the sweep saw almost no delegate-"
@@ -115,10 +124,24 @@ def test_no_delegate_span_touches_a_foreign_priv(table1_trace):
     assert not violations, "\n".join(violations)
 
 
+def test_online_monitor_matches_the_offline_sweep(table1_trace):
+    """Shared-rule-engine equivalence: the streaming monitor must reach
+    the same verdicts as the post-hoc sweep over the same spans."""
+    env, trees, monitor = table1_trace
+    offline, offline_delegate_spans = sweep_violations(
+        trees, list(env.apps), ledger=OBS.provenance
+    )
+    assert monitor.messages == [v.message for v in offline]
+    assert monitor.delegate_spans == offline_delegate_spans
+    assert monitor.delegate_spans > 50
+    assert monitor.spans_seen > 0
+    assert not monitor.violations
+
+
 def test_sweep_covers_every_scenarios_delegate_context(table1_trace):
     """Each Table 1 delegate pair must appear in the trace, so a scenario
     silently running unconfined (ctx ``B`` instead of ``B^A``) fails."""
-    env, trees = table1_trace
+    env, trees, _ = table1_trace
     seen = {
         ctx
         for _, ctx in spans_with_inherited_ctx(trees)
@@ -153,7 +176,7 @@ def test_delegate_writable_roots_stay_in_the_pair_or_initiator_area(table1_trace
     """Every writable branch observed under a delegate context resolves to
     the ``B@A`` pair area or the initiator's volatile area — never to a
     bare foreign package root."""
-    env, trees = table1_trace
+    env, trees, _ = table1_trace
     checked = 0
     for node, ctx in spans_with_inherited_ctx(trees):
         pair = parse_delegate_ctx(ctx)

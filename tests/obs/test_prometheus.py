@@ -1,0 +1,156 @@
+"""Prometheus text export, BENCH_obs.json artifacts, and the
+``capture()`` save/restore contract.
+
+The exporter is checked line-by-line against the exposition format
+(counter ``_total`` suffix, cumulative histogram buckets, name
+sanitisation); ``capture()`` is checked for the regression where a nested
+capture dropped the enclosing enable's jsonl path and ring capacity.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import OBS
+from repro.obs.artifacts import (
+    BENCH_OBS_ENV,
+    bench_json_target,
+    layer_section,
+    update_bench_json,
+)
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, Metrics, _prom_name
+
+pytestmark = pytest.mark.trace
+
+
+# ----------------------------------------------------------------------
+# to_prometheus_text()
+# ----------------------------------------------------------------------
+
+def test_empty_registry_exports_empty_text():
+    assert Metrics().to_prometheus_text() == ""
+
+
+def test_counters_gain_total_suffix_and_type_line():
+    metrics = Metrics()
+    metrics.count("vfs.reads", 3)
+    text = metrics.to_prometheus_text()
+    assert "# TYPE vfs_reads_total counter\n" in text
+    assert "vfs_reads_total 3\n" in text
+    assert text.endswith("\n")
+
+
+def test_names_are_sanitized_to_the_legal_charset():
+    assert _prom_name("aufs.copy-up/ms") == "aufs_copy_up_ms"
+    assert _prom_name("2fast") == "_2fast"
+    metrics = Metrics()
+    metrics.count("binder.transactions-failed")
+    assert "binder_transactions_failed_total 1" in metrics.to_prometheus_text()
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_inf():
+    metrics = Metrics()
+    hist = metrics.histogram("latency.ms", boundaries=(1.0, 5.0, 10.0))
+    for value in (0.5, 0.7, 3.0, 20.0):
+        hist.observe(value)
+    text = metrics.to_prometheus_text()
+    assert '# TYPE latency_ms histogram' in text
+    assert 'latency_ms_bucket{le="1"} 2' in text
+    assert 'latency_ms_bucket{le="5"} 3' in text
+    assert 'latency_ms_bucket{le="10"} 3' in text
+    assert 'latency_ms_bucket{le="+Inf"} 4' in text
+    assert "latency_ms_sum 24.2" in text
+    assert "latency_ms_count 4" in text
+
+
+def test_gauges_render_integral_values_bare():
+    metrics = Metrics()
+    metrics.gauge("open.handles").set(7.0)
+    assert "open_handles 7\n" in metrics.to_prometheus_text()
+
+
+def test_export_is_deterministic_and_sorted():
+    metrics = Metrics()
+    metrics.count("b.second")
+    metrics.count("a.first")
+    text = metrics.to_prometheus_text()
+    assert text.index("a_first_total") < text.index("b_second_total")
+    assert text == metrics.to_prometheus_text()
+
+
+# ----------------------------------------------------------------------
+# BENCH_obs.json artifacts
+# ----------------------------------------------------------------------
+
+def test_bench_json_target_honours_the_env_var(monkeypatch):
+    monkeypatch.delenv(BENCH_OBS_ENV, raising=False)
+    assert bench_json_target() is None
+    monkeypatch.setenv(BENCH_OBS_ENV, "0")
+    assert bench_json_target() is None
+    monkeypatch.setenv(BENCH_OBS_ENV, "1")
+    assert bench_json_target() == "BENCH_obs.json"
+    monkeypatch.setenv(BENCH_OBS_ENV, "/tmp/custom.json")
+    assert bench_json_target() == "/tmp/custom.json"
+
+
+def test_update_bench_json_merges_sections(tmp_path):
+    target = tmp_path / "BENCH_obs.json"
+    update_bench_json(str(target), "layers", {"vfs": {"self_ms": 1.0}})
+    update_bench_json(str(target), "gate", {"disabled_pct": 0.5})
+    update_bench_json(str(target), "layers", {"aufs": {"self_ms": 2.0}})
+    data = json.loads(target.read_text())
+    assert data["gate"] == {"disabled_pct": 0.5}
+    assert data["layers"] == {"aufs": {"self_ms": 2.0}}  # section replaced
+
+
+def test_layer_section_shapes_per_layer_self_times():
+    with OBS.capture() as obs:
+        with OBS.tracer.span("vfs.read", path="/x"):
+            pass
+        section = layer_section(obs.spans())
+    assert "vfs" in section
+    assert set(section["vfs"]) == {"self_ms", "fraction"}
+    assert 0.0 <= section["vfs"]["fraction"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# capture() save/restore
+# ----------------------------------------------------------------------
+
+def test_capture_restores_prior_jsonl_path_and_ring_capacity(tmp_path):
+    jsonl = str(tmp_path / "outer.jsonl")
+    OBS.enable(jsonl_path=jsonl, ring_capacity=123)
+    try:
+        with OBS.capture(ring_capacity=999):
+            assert OBS.tracer.ring.capacity == 999
+        # The regression: restore used to re-enable with defaults,
+        # silently dropping the sink and shrinking/growing the ring.
+        assert OBS.enabled
+        assert OBS.tracer.ring.capacity == 123
+        with OBS.tracer.span("after.restore"):
+            pass
+    finally:
+        OBS.disable()
+        OBS.reset()
+    lines = [json.loads(l) for l in open(jsonl) if l.strip()]
+    assert any(rec["name"] == "after.restore" for rec in lines)
+
+
+def test_capture_restores_prov_armed_state():
+    OBS.enable()
+    OBS.enable_prov()
+    try:
+        with OBS.capture():  # inner capture defaults prov off
+            assert not OBS.prov
+        assert OBS.prov, "outer prov arming lost across capture()"
+    finally:
+        OBS.disable()
+        OBS.reset()
+    assert not OBS.prov
+
+
+def test_capture_from_disabled_leaves_everything_off():
+    assert not OBS.enabled
+    with OBS.capture(prov=True):
+        assert OBS.enabled and OBS.prov
+    assert not OBS.enabled and not OBS.prov

@@ -1,0 +1,199 @@
+"""Unit tests for the provenance ledger: labels, taint flow, explain().
+
+The lattice and ledger are exercised directly (no device) for the
+algebra, then against a real device for the cross-layer flows: a
+delegate's read of its initiator's Priv must taint the delegate process,
+follow its writes into the initiator's volatile view, and survive the
+initiator's commit to a public name — with ``explain()`` rendering the
+whole chain back to the tainted source.
+"""
+
+import pytest
+
+from repro import AndroidManifest, Device
+from repro.obs import OBS
+from repro.obs.provenance import Label, ProvenanceLedger, join_labels
+
+pytestmark = [pytest.mark.trace, pytest.mark.prov]
+
+A = "com.prov.initiator"
+B = "com.prov.delegate"
+C = "com.prov.other"
+
+
+class _Nop:
+    def main(self, api, intent):
+        return None
+
+
+@pytest.fixture
+def device():
+    device = Device(maxoid_enabled=True)
+    for pkg in (A, B, C):
+        device.install(AndroidManifest(package=pkg), _Nop())
+    return device
+
+
+# ----------------------------------------------------------------------
+# The label lattice
+# ----------------------------------------------------------------------
+
+def test_label_lattice_ordering():
+    assert (
+        Label.public().rank
+        < Label.vol(A).rank
+        < Label.priv(A).rank
+        < Label.dpriv(B, A).rank
+    )
+
+
+def test_label_rendering_matches_paper_notation():
+    assert str(Label.public()) == "Public"
+    assert str(Label.vol(A)) == f"Vol({A})"
+    assert str(Label.priv(A)) == f"Priv({A})"
+    assert str(Label.dpriv(B, A)) == f"Priv({B}^{A})"
+
+
+def test_join_is_set_union_and_idempotent():
+    x = frozenset([Label.priv(A)])
+    y = frozenset([Label.vol(A), Label.priv(A)])
+    joined = join_labels(x, y)
+    assert joined == {Label.priv(A), Label.vol(A)}
+    assert join_labels(joined, joined) == joined
+
+
+def test_labels_are_hashable_value_objects():
+    assert Label.priv(A) == Label.priv(A)
+    assert Label.priv(A) != Label.priv(B)
+    assert len({Label.priv(A), Label.priv(A), Label.dpriv(B, A)}) == 2
+
+
+# ----------------------------------------------------------------------
+# Ledger mechanics (no device)
+# ----------------------------------------------------------------------
+
+def test_read_taints_process_and_write_stamps_destination():
+    ledger = ProvenanceLedger()
+    ledger.fork(1, f"{B}^{A}")
+    ledger.read(1, f"{B}^{A}", f"/data/data/{A}/doc.txt", ino=100)
+    assert Label.priv(A) in ledger.process_taint(1)
+    ledger.write(1, f"{B}^{A}", "/storage/sdcard/out.bin", ino=200)
+    assert Label.priv(A) in ledger.taint_of(200)
+
+
+def test_fork_clears_prior_taint():
+    ledger = ProvenanceLedger()
+    ledger.fork(1, B)
+    ledger.read(1, B, f"/data/data/{B}/own.txt", ino=5)
+    assert ledger.process_taint(1)
+    ledger.fork(1, B)  # pid reuse: a fresh process starts clean
+    assert ledger.process_taint(1) == frozenset()
+
+
+def test_copy_up_propagates_source_labels_to_target_inode():
+    ledger = ProvenanceLedger()
+    ledger.fork(7, f"{B}^{A}")
+    ledger.read(7, f"{B}^{A}", f"/data/data/{A}/in.pdf", ino=10)
+    ledger.write(7, f"{B}^{A}", "/storage/sdcard/x.pdf", ino=11)
+    ledger.copy_up(11, 12, "/storage/sdcard/x.pdf", mount="sdcard")
+    assert Label.priv(A) in ledger.taint_of(12)
+
+
+def test_row_write_and_commit_lineage():
+    ledger = ProvenanceLedger()
+    ledger.row_write("words_delta", 9001, op="cow.insert", initiator=A)
+    assert Label.vol(A) in ledger.taint_of(("words_delta", 9001))
+    ledger.row_commit("words", 42, "words_delta", 9001, A)
+    lineage = ledger.explain(("words", 42))
+    assert lineage
+    assert lineage.derives_from("vol", A)
+    assert "cow.commit" in lineage.render()
+
+
+def test_clipboard_taint_crosses_domains():
+    ledger = ProvenanceLedger()
+    ledger.fork(1, f"{B}^{A}")
+    ledger.read(1, f"{B}^{A}", f"/data/data/{A}/secret.txt", ino=3)
+    ledger.clip_set(1, f"{B}^{A}", f"vol:{A}")
+    ledger.fork(2, A)
+    ledger.clip_get(2, A, f"vol:{A}")
+    assert Label.priv(A) in ledger.process_taint(2)
+
+
+def test_explain_unknown_target_is_falsy():
+    ledger = ProvenanceLedger()
+    lineage = ledger.explain("/storage/sdcard/nowhere.bin")
+    assert not lineage
+    assert lineage.steps == ()
+
+
+def test_explain_chain_ends_at_tainted_source():
+    ledger = ProvenanceLedger()
+    ledger.fork(1, f"{B}^{A}")
+    ledger.read(1, f"{B}^{A}", f"/data/data/{A}/doc.txt", ino=1)
+    ledger.write(1, f"{B}^{A}", "/storage/sdcard/out.pdf", ino=2)
+    lineage = ledger.explain("/storage/sdcard/out.pdf")
+    assert lineage.steps[0].startswith("vol(") or lineage.steps[0].startswith("public")
+    assert any("vfs.read" in step for step in lineage.steps)
+    assert lineage.steps[-1].startswith("source ")
+    assert Label.priv(A) in lineage.sources
+
+
+def test_reset_clears_everything():
+    ledger = ProvenanceLedger()
+    ledger.fork(1, B)
+    ledger.read(1, B, f"/data/data/{B}/x", ino=1)
+    ledger.reset()
+    assert ledger.process_taint(1) == frozenset()
+    assert not ledger.explain(1)
+
+
+# ----------------------------------------------------------------------
+# Cross-layer flows on a real device
+# ----------------------------------------------------------------------
+
+def test_delegate_write_carries_initiator_priv_taint(device):
+    owner = device.spawn(A)
+    owner.write_internal("docs/secret.txt", b"the initiator's private bytes")
+    with OBS.capture(prov=True) as obs:
+        delegate = device.spawn(B, initiator=A)
+        data = delegate.sys.read_file(f"/data/data/{A}/docs/secret.txt")
+        delegate.write_external("out/copy.bin", data)
+        taint = obs.provenance.taint_of("/storage/sdcard/out/copy.bin")
+    assert Label.priv(A) in taint
+
+
+def test_volatile_commit_preserves_lineage_across_views(device):
+    """The delegate writes EXTDIR/x; the initiator sees it as EXTDIR/tmp/x
+    and commits it — same inode, different virtual paths, one chain."""
+    owner = device.spawn(A)
+    owner.write_internal("docs/secret.txt", b"priv bytes")
+    with OBS.capture(prov=True) as obs:
+        delegate = device.spawn(B, initiator=A)
+        data = delegate.sys.read_file(f"/data/data/{A}/docs/secret.txt")
+        delegate.write_external("report.pdf", data)
+        initiator = device.spawn(A)
+        committed = initiator.volatile.commit("/storage/sdcard/tmp/report.pdf")
+        lineage = obs.provenance.explain(committed)
+    assert lineage, "committed file has no lineage"
+    assert lineage.derives_from("priv", A)
+    assert "vol.commit" in lineage.render()
+    assert lineage.steps[-1].startswith("source ")
+
+
+def test_prov_disarmed_records_nothing(device):
+    api = device.spawn(B)
+    with OBS.capture() as obs:  # prov defaults to off
+        api.write_external("plain.bin", b"x")
+        api.sys.read_file("/storage/sdcard/plain.bin")
+        assert not OBS.prov
+        assert obs.provenance.taint_of("/storage/sdcard/plain.bin") == frozenset()
+
+
+def test_prov_events_appear_in_the_trace(device):
+    with OBS.capture(prov=True) as obs:
+        api = device.spawn(B)
+        api.write_external("traced.bin", b"x")
+        names = {span.name for span in obs.spans()}
+    assert "prov.write" in names
+    assert "prov.fork" in names
