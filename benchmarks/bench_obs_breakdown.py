@@ -13,7 +13,7 @@ import pytest
 from repro import AndroidManifest, Device, Intent
 from repro.android.content.provider import ContentValues
 from repro.android.uri import Uri
-from repro.obs import layer_self_times, span_time
+from repro.obs import critical_paths, layer_self_times, span_time
 
 BENCH_INITIATOR = "com.bench.initiator"
 WORKER = "com.bench.worker"
@@ -66,3 +66,12 @@ def bench_delegate_launch_breakdown(benchmark, obs_capture):
     if launch_ms > 0:
         print(f"\ncopy-up: {copy_up_ms:.3f} ms "
               f"({copy_up_ms / launch_ms * 100.0:.1f}% of traced launch time)")
+    # The hot chain through the slowest invocation, with layer attribution.
+    reports = critical_paths(obs_capture.trees(), min_ms=0.0)
+    launches = [r for r in reports if r.root.startswith("am.")]
+    if launches:
+        print(launches[0].render())
+        assert launches[0].coverage >= 0.95, (
+            f"critical path only attributes {launches[0].coverage * 100.0:.1f}% "
+            "of the launch's wall time"
+        )

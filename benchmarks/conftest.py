@@ -45,6 +45,14 @@ def pytest_addoption(parser):
         "obs_capture fixture into DIR (created if missing)",
     )
     parser.addoption(
+        "--obs-perfetto",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="dump a Chrome/Perfetto trace-event JSON file per benchmark "
+        "using the obs_capture fixture into DIR (open in ui.perfetto.dev)",
+    )
+    parser.addoption(
         "--faults-seed",
         action="store",
         default=None,
@@ -112,13 +120,21 @@ def obs_capture(request):
         os.makedirs(out_dir, exist_ok=True)
         jsonl_path = os.path.join(out_dir, f"{stem}.jsonl")
     prom_dir = request.config.getoption("--obs-prom")
-    with OBS.capture(jsonl_path=jsonl_path) as obs:
+    perfetto_dir = request.config.getoption("--obs-perfetto")
+    with OBS.capture(jsonl_path=jsonl_path, profile=bool(perfetto_dir)) as obs:
         yield obs
         if prom_dir:
             os.makedirs(prom_dir, exist_ok=True)
             prom_path = os.path.join(prom_dir, f"{stem}.prom")
             with open(prom_path, "w", encoding="utf-8") as fh:
                 fh.write(obs.metrics.to_prometheus_text())
+        if perfetto_dir:
+            from repro.obs.export import write_chrome_trace
+
+            os.makedirs(perfetto_dir, exist_ok=True)
+            write_chrome_trace(
+                os.path.join(perfetto_dir, f"{stem}.trace.json"), obs.trees()
+            )
         spans = obs.spans()
         if spans:
             print()

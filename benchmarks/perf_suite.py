@@ -1,0 +1,189 @@
+"""The micro perf suite behind the regression gate.
+
+Runs a small, fast set of microbenchmarks over the hot paths the paper's
+Tables 3-5 care about — file I/O through the delegate's Aufs view,
+dictionary-provider operations through the SQLite COW proxy, and the
+delegate launch itself — and writes a ``BENCH_perf.json`` artifact
+(:mod:`repro.obs.artifacts` conventions: sections + stamped ``run``
+metadata). Each op records its median and MAD over the trials, which is
+exactly what ``benchmarks/regress.py`` needs for its noise-aware
+median ± k·MAD comparison against the committed baseline.
+
+A traced pass with ``OBS.profile`` armed contributes two more sections:
+per-layer self-times (``layers``) and the critical-path / per-span
+latency-quantile report (``profile``), so the artifact answers both
+"did it get slower" and "where does the time go".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_suite.py [--trials N] [--out PATH]
+
+Recording a fresh baseline is just running the suite and committing the
+output as ``benchmarks/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import AndroidManifest, Device, Intent
+from repro.android.content.provider import ContentValues
+from repro.android.uri import Uri
+from repro.obs import OBS, critical_paths, latency_summary
+from repro.obs.artifacts import layer_section, latency_section, update_bench_json
+from repro.workloads.generators import deterministic_bytes, make_dictionary_words
+from repro.workloads.harness import Measurement, measure
+
+APP = "com.perf.app"
+INITIATOR = "com.perf.initiator"
+WORDS = Uri.content("user_dictionary", "words")
+
+DEFAULT_OUT = "BENCH_perf.json"
+
+
+class _Worker:
+    """Delegate workload touching every layer: file copy-up, external
+    write, and one provider insert through the COW proxy."""
+
+    def main(self, api, intent):
+        api.sys.append_file("/storage/sdcard/shared/report.txt", b" note")
+        api.write_external("out/result.bin", b"r" * 4096)
+        api.insert(WORDS, ContentValues({"word": "profiled", "frequency": 1}))
+        return "done"
+
+
+def _device() -> Device:
+    device = Device(maxoid_enabled=True)
+    device.install(AndroidManifest(package=APP), _Worker())
+    device.install(AndroidManifest(package=INITIATOR), _Worker())
+    seed = device.spawn(INITIATOR)
+    seed.sys.makedirs("/storage/sdcard/shared")
+    seed.sys.write_file("/storage/sdcard/shared/report.txt", b"p" * 65536)
+    return device
+
+
+def micro_measurements(trials: int) -> dict:
+    """The gate's metric set: delegate-view file ops, COW dict ops, cpu
+    control, and the delegate launch. Returns ``{op: Measurement}``."""
+    results: dict = {}
+
+    # CPU control: identical code under any configuration; a regression
+    # here means the machine, not the repo, so the gate's budget is wide.
+    def cpu_op():
+        total = 0
+        for i in range(2000):
+            total = (total * 31 + i) % 1000003
+        return total
+
+    results["cpu_loop"] = measure(cpu_op, trials=trials, label="cpu_loop")
+
+    # File I/O through the delegate's per-initiator Aufs view.
+    device = _device()
+    payload = deterministic_bytes(4096)
+    owner = device.spawn(APP)
+    for index in range(64):
+        owner.write_internal(f"bench/pre{index}.bin", payload)
+    api = device.spawn(APP, initiator=INITIATOR)
+    state = {"i": 0}
+
+    def read_4kb():
+        state["i"] += 1
+        api.sys.read_file(f"/data/data/{APP}/bench/pre{state['i'] % 64}.bin")
+
+    def write_4kb():
+        state["i"] += 1
+        api.write_internal(f"bench/w{state['i']}.bin", payload)
+
+    def append_4kb():
+        state["i"] += 1
+        api.sys.append_file(f"/data/data/{APP}/bench/pre{state['i'] % 64}.bin", b"+x")
+
+    results["delegate_read_4kb"] = measure(read_4kb, trials=trials, label="delegate_read_4kb")
+    results["delegate_write_4kb"] = measure(write_4kb, trials=trials, label="delegate_write_4kb")
+    results["delegate_append_4kb"] = measure(append_4kb, trials=trials, label="delegate_append_4kb")
+
+    # Dictionary provider through the SQLite COW proxy.
+    device = _device()
+    owner = device.spawn(INITIATOR)
+    for word in make_dictionary_words(500):
+        owner.insert(WORDS, ContentValues({"word": word}))
+    api = device.spawn(APP, initiator=INITIATOR)
+
+    def dict_insert():
+        state["i"] += 1
+        api.insert(WORDS, ContentValues({"word": f"new{state['i']}"}))
+
+    def dict_query_one():
+        state["i"] += 1
+        api.query(WORDS.with_appended_id((state["i"] % 500) + 1), projection=["word"])
+
+    results["cow_dict_insert"] = measure(dict_insert, trials=trials, label="cow_dict_insert")
+    results["cow_dict_query_1"] = measure(dict_query_one, trials=trials, label="cow_dict_query_1")
+
+    # The whole delegate invocation (AM -> Zygote -> workload).
+    launch_device = _device()
+    intent = Intent(Intent.ACTION_VIEW, extras={})
+
+    def delegate_launch():
+        launch_device.launch_as_delegate(APP, INITIATOR, intent)
+
+    results["delegate_launch"] = measure(
+        delegate_launch, trials=max(5, trials // 4), label="delegate_launch"
+    )
+    return results
+
+
+def profiled_sections(invocations: int = 5) -> tuple:
+    """One traced, profiled delegate workload: the per-layer self-time
+    section plus the critical-path / latency-quantile section."""
+    device = _device()
+    intent = Intent(Intent.ACTION_VIEW, extras={})
+    with OBS.capture(ring_capacity=65536, profile=True) as obs:
+        for _ in range(invocations):
+            device.launch_as_delegate(APP, INITIATOR, intent)
+        spans = obs.spans()
+        trees = obs.trees()
+        snapshot = obs.metrics.snapshot()
+    layers = layer_section(spans)
+    reports = critical_paths(trees, min_ms=0.0)
+    # The launch roots (am.*) are the invocations; report the slowest.
+    launch_reports = [r for r in reports if r.root.startswith("am.")] or reports
+    profile = {
+        "invocations": len(launch_reports),
+        "critical_path": launch_reports[0].to_dict() if launch_reports else {},
+        "min_coverage": round(
+            min((r.coverage for r in launch_reports), default=1.0), 6
+        ),
+        "latency": latency_section(snapshot),
+    }
+    return layers, profile
+
+
+def write_artifact(path: str, measurements: dict, layers: dict, profile: dict) -> None:
+    update_bench_json(
+        path, "micro", {op: m.as_dict() for op, m in sorted(measurements.items())}
+    )
+    update_bench_json(path, "layers", layers)
+    update_bench_json(path, "profile", profile)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=30, help="trials per micro-op")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="artifact path")
+    args = parser.parse_args(argv)
+    measurements = micro_measurements(args.trials)
+    layers, profile = profiled_sections()
+    write_artifact(args.out, measurements, layers, profile)
+    width = max(len(op) for op in measurements)
+    print(f"-- perf suite ({args.trials} trials/op) -> {args.out} --")
+    for op, m in sorted(measurements.items()):
+        print(f"  {op:<{width}}  median {m.median_ms:8.3f} ms  mad {m.mad_ms:7.3f} ms")
+    coverage = profile.get("min_coverage", 0.0)
+    print(f"  critical-path coverage over launches: {coverage * 100.0:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

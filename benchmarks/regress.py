@@ -1,0 +1,321 @@
+"""The BENCH regression gate: compare a perf artifact to the baseline.
+
+Reads a current ``BENCH_*.json`` artifact (written by
+``benchmarks/perf_suite.py``, ``report_tables.py --bench-json``, or the
+overhead regressions via ``$BENCH_OBS_JSON``), compares every time-like
+metric against the committed baseline with a noise-aware rule, appends
+the verdict to ``BENCH_trajectory.json``, and exits nonzero on
+regression.
+
+The rule, per metric: the current value regresses when it exceeds ::
+
+    baseline + max(k * MAD, budget * baseline, min_ms)
+
+where MAD is the baseline's recorded median-absolute-deviation for that
+op (0 when the section has none, e.g. layer self-times), ``budget`` is a
+relative allowance configurable per group (``--budget vfs=0.5`` gives the
+``vfs`` layer 50%), and ``min_ms`` is an absolute floor that keeps
+microsecond-scale noise from flagging. Metrics faster than baseline
+never fail — improvements are reported, not punished.
+
+Runs are refused (exit 2) when their artifact schema versions differ, or
+— with ``--strict-meta`` — when python/platform metadata disagrees;
+cross-machine comparisons otherwise just warn.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py \
+        [--current BENCH_perf.json] [--baseline benchmarks/BENCH_baseline.json] \
+        [--trajectory BENCH_trajectory.json] [--k 5] [--default-budget 0.25] \
+        [--budget GROUP=FRACTION ...] [--min-ms 0.02] [--warn-only]
+
+Exit codes: 0 ok (or ``--warn-only``), 1 regression, 2 incompatible or
+missing artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+# Make the suite runnable both as ``python benchmarks/regress.py`` and as
+# the ``benchmarks.regress`` module.
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.artifacts import SCHEMA_VERSION  # noqa: E402
+
+#: Metric-name suffixes the gate compares (time-like, lower is better).
+COMPARED_SUFFIXES = ("median_ms", "self_ms")
+
+#: Default relative allowance for ``layers.*`` self-times: absolute
+#: per-layer totals over a handful of invocations swing far more between
+#: runs than trial medians do, so the layer gate only catches 2x-and-up
+#: blowups unless ``--budget LAYER=...`` tightens a specific layer.
+DEFAULT_LAYER_BUDGET = 1.0
+
+#: Sections that are metadata, never metrics.
+META_SECTIONS = ("run", "meta")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One compared metric's outcome."""
+
+    metric: str
+    group: str
+    baseline_ms: float
+    current_ms: float
+    allowed_ms: float
+    regressed: bool
+    improved: bool
+
+    def describe(self) -> str:
+        arrow = "REGRESSED" if self.regressed else ("improved" if self.improved else "ok")
+        return (
+            f"{self.metric}: {self.baseline_ms:.3f} -> {self.current_ms:.3f} ms "
+            f"(allowed <= {self.allowed_ms:.3f}) {arrow}"
+        )
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: artifact must be a JSON object")
+    return document
+
+
+def flatten_metrics(document: Dict[str, Any]) -> Dict[str, float]:
+    """Numeric leaves as dotted paths, metadata sections excluded."""
+    flat: Dict[str, float] = {}
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, dict):
+            for key, child in value.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), child)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[prefix] = float(value)
+
+    for section, value in document.items():
+        if section in META_SECTIONS:
+            continue
+        walk(section, value)
+    return flat
+
+
+def check_compatibility(
+    current: Dict[str, Any], baseline: Dict[str, Any], strict: bool
+) -> Tuple[List[str], List[str]]:
+    """Returns ``(errors, warnings)``; any error blocks the comparison."""
+    errors: List[str] = []
+    warnings: List[str] = []
+    cur_run = current.get("run") or {}
+    base_run = baseline.get("run") or {}
+    cur_schema = cur_run.get("schema_version")
+    base_schema = base_run.get("schema_version")
+    if cur_schema != base_schema:
+        errors.append(
+            f"artifact schema mismatch: current={cur_schema!r} "
+            f"baseline={base_schema!r} (gate schema {SCHEMA_VERSION})"
+        )
+    for key in ("python", "platform", "implementation"):
+        if base_run.get(key) != cur_run.get(key):
+            message = (
+                f"run metadata differs on {key}: current={cur_run.get(key)!r} "
+                f"baseline={base_run.get(key)!r}"
+            )
+            (errors if strict else warnings).append(message)
+    return errors, warnings
+
+
+def _group(metric: str) -> str:
+    """The budget group: the op/layer component of the dotted path —
+    ``layers.vfs.self_ms`` -> ``vfs``, ``micro.delegate_launch.median_ms``
+    -> ``delegate_launch``."""
+    parts = metric.split(".")
+    return parts[-2] if len(parts) >= 2 else parts[0]
+
+
+def _mad_for(metric: str, baseline_flat: Dict[str, float]) -> float:
+    """The baseline's recorded MAD next to a ``median_ms`` metric."""
+    if metric.endswith(".median_ms"):
+        return baseline_flat.get(metric[: -len(".median_ms")] + ".mad_ms", 0.0)
+    return 0.0
+
+
+def compare(
+    current_flat: Dict[str, float],
+    baseline_flat: Dict[str, float],
+    k: float = 5.0,
+    budgets: Optional[Dict[str, float]] = None,
+    default_budget: float = 0.25,
+    min_ms: float = 0.02,
+    layer_budget: float = DEFAULT_LAYER_BUDGET,
+) -> List[Verdict]:
+    """Apply the median ± k·MAD rule over every shared time-like metric."""
+    budgets = budgets or {}
+    verdicts: List[Verdict] = []
+    for metric in sorted(baseline_flat):
+        if not metric.endswith(COMPARED_SUFFIXES):
+            continue
+        current = current_flat.get(metric)
+        if current is None:
+            continue
+        baseline = baseline_flat[metric]
+        group = _group(metric)
+        fallback = layer_budget if metric.startswith("layers.") else default_budget
+        budget = budgets.get(group, fallback)
+        allowance = max(
+            k * _mad_for(metric, baseline_flat), budget * baseline, min_ms
+        )
+        allowed = baseline + allowance
+        verdicts.append(
+            Verdict(
+                metric=metric,
+                group=group,
+                baseline_ms=baseline,
+                current_ms=current,
+                allowed_ms=allowed,
+                regressed=current > allowed,
+                improved=current < baseline - allowance,
+            )
+        )
+    return verdicts
+
+
+def append_trajectory(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Append ``entry`` to the JSON-array trajectory file at ``path``."""
+    history: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        if isinstance(loaded, list):
+            history = loaded
+    except (OSError, ValueError):
+        pass
+    history.append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return history
+
+
+def trajectory_entry(
+    current: Dict[str, Any], verdicts: List[Verdict], ok: bool
+) -> Dict[str, Any]:
+    return {
+        "run": current.get("run", {}),
+        "ok": ok,
+        "checked": len(verdicts),
+        "regressions": [v.describe() for v in verdicts if v.regressed],
+        "improvements": [v.describe() for v in verdicts if v.improved],
+        "metrics": {v.metric: round(v.current_ms, 6) for v in verdicts},
+    }
+
+
+def parse_budgets(pairs: List[str]) -> Dict[str, float]:
+    budgets: Dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--budget wants GROUP=FRACTION, got {pair!r}")
+        group, _, raw = pair.partition("=")
+        budgets[group.strip()] = float(raw)
+    return budgets
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a BENCH_*.json artifact against the committed baseline."
+    )
+    parser.add_argument("--current", default="BENCH_perf.json")
+    parser.add_argument(
+        "--baseline", default=os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
+    )
+    parser.add_argument(
+        "--trajectory", default="BENCH_trajectory.json",
+        help="append the verdict here ('' disables)",
+    )
+    parser.add_argument("--k", type=float, default=5.0, help="MAD multiplier")
+    parser.add_argument(
+        "--default-budget", type=float, default=0.25,
+        help="relative allowance when no per-group budget is given",
+    )
+    parser.add_argument(
+        "--layer-budget", type=float, default=DEFAULT_LAYER_BUDGET,
+        help="default relative allowance for layers.* self-times",
+    )
+    parser.add_argument(
+        "--budget", action="append", default=[], metavar="GROUP=FRACTION",
+        help="per-layer/per-op relative allowance (repeatable), e.g. vfs=0.5",
+    )
+    parser.add_argument(
+        "--min-ms", type=float, default=0.02,
+        help="absolute floor below which differences never flag",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (first-landing mode for CI)",
+    )
+    parser.add_argument(
+        "--strict-meta", action="store_true",
+        help="refuse cross-python/platform comparisons instead of warning",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_artifact(args.current)
+        baseline = load_artifact(args.baseline)
+        budgets = parse_budgets(args.budget)
+    except (OSError, ValueError) as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+
+    errors, warnings = check_compatibility(current, baseline, strict=args.strict_meta)
+    for warning in warnings:
+        print(f"regress: warning: {warning}", file=sys.stderr)
+    if errors:
+        for error in errors:
+            print(f"regress: refusing to compare: {error}", file=sys.stderr)
+        return 2
+
+    verdicts = compare(
+        flatten_metrics(current),
+        flatten_metrics(baseline),
+        k=args.k,
+        budgets=budgets,
+        default_budget=args.default_budget,
+        min_ms=args.min_ms,
+        layer_budget=args.layer_budget,
+    )
+    if not verdicts:
+        print("regress: refusing to compare: no shared time-like metrics", file=sys.stderr)
+        return 2
+    regressions = [v for v in verdicts if v.regressed]
+    improvements = [v for v in verdicts if v.improved]
+    ok = not regressions
+
+    print(f"-- perf gate: {len(verdicts)} metrics vs {args.baseline} --")
+    for verdict in regressions:
+        print(f"  REGRESSED  {verdict.describe()}")
+    for verdict in improvements:
+        print(f"  improved   {verdict.describe()}")
+    if ok:
+        print("  no regressions")
+
+    if args.trajectory:
+        append_trajectory(args.trajectory, trajectory_entry(current, verdicts, ok))
+        print(f"  trajectory -> {args.trajectory}")
+
+    if regressions and args.warn_only:
+        print("regress: regressions found, but --warn-only is set", file=sys.stderr)
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

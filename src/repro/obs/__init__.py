@@ -36,6 +36,15 @@ writes stamp the destination, and the streaming
 each closing span with :meth:`~repro.obs.provenance.ProvenanceLedger
 .explain` lineage.
 
+Performance profiling (:mod:`repro.obs.profile`) follows the same
+sub-switch pattern behind ``OBS.profile``: armed, a tracer listener folds
+every closing span into per-span-name latency histograms
+(``lat.vfs.open``, ...) with interpolated p50/p95/p99, and
+:func:`~repro.obs.profile.critical_path` attributes one invocation's wall
+time across layers. :mod:`repro.obs.export` turns the same span stream
+into Chrome/Perfetto trace JSON, folded flamegraph stacks, or a
+speedscope profile.
+
 Typical use::
 
     from repro.obs import OBS
@@ -71,7 +80,24 @@ from repro.obs.report import (
     layer_self_times,
     span_time,
 )
+from repro.obs.export import (
+    to_chrome_trace,
+    to_folded_stacks,
+    to_speedscope,
+    write_chrome_trace,
+    write_folded_stacks,
+    write_speedscope,
+)
 from repro.obs.monitor import SecurityMonitor
+from repro.obs.profile import (
+    SPAN_LATENCY_PREFIX,
+    CriticalPathReport,
+    CriticalPathStep,
+    ProfileRecorder,
+    critical_path,
+    critical_paths,
+    latency_summary,
+)
 from repro.obs.provenance import Label, Lineage, ProvenanceLedger
 from repro.obs.sweep import (
     Violation,
@@ -101,6 +127,19 @@ __all__ = [
     "Violation",
     "Label",
     "Lineage",
+    "SPAN_LATENCY_PREFIX",
+    "ProfileRecorder",
+    "CriticalPathReport",
+    "CriticalPathStep",
+    "critical_path",
+    "critical_paths",
+    "latency_summary",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "to_speedscope",
+    "write_chrome_trace",
+    "write_folded_stacks",
+    "write_speedscope",
     "ProvenanceLedger",
     "SecurityMonitor",
     "OBS",
@@ -136,10 +175,15 @@ class Observability:
         self.tracer = Tracer()
         self.metrics = Metrics()
         self.provenance = ProvenanceLedger(tracer=self.tracer)
+        self.profiler = ProfileRecorder(self.metrics)
         self.enabled = False
         #: Sub-switch for the provenance ledger; hot paths check this one
         #: attribute before building any label machinery.
         self.prov = False
+        #: Sub-switch for per-span-name latency histograms. Armed, a
+        #: tracer listener observes every closing span's duration; off,
+        #: no listener is registered and span close runs the seed path.
+        self.profile = False
         self._jsonl_path: Optional[str] = None
         self._ring_capacity = 8192
 
@@ -156,8 +200,21 @@ class Observability:
             self.enable()
         self.prov = True
 
+    def enable_profile(self) -> None:
+        """Arm latency profiling (implies :meth:`enable` if needed)."""
+        if not self.enabled:
+            self.enable()
+        self.profile = True
+        self.tracer.add_listener(self.profiler.on_span)
+
+    def disable_profile(self) -> None:
+        """Disarm latency profiling; existing ``lat.*`` histograms stay."""
+        self.profile = False
+        self.tracer.remove_listener(self.profiler.on_span)
+
     def disable(self) -> None:
         """Turn instrumentation off; closes any JSONL sink."""
+        self.disable_profile()
         self.tracer.disable()
         self.enabled = False
         self.prov = False
@@ -174,6 +231,7 @@ class Observability:
         jsonl_path: Optional[str] = None,
         ring_capacity: int = 8192,
         prov: bool = False,
+        profile: bool = False,
     ) -> Iterator["Observability"]:
         """Enable from a clean slate for the duration of a ``with`` block.
 
@@ -181,15 +239,21 @@ class Observability:
         JSONL sink path or custom ring capacity the instance was enabled
         with before — so tests and benchmarks can nest captures without
         leaking or clobbering global state. ``prov=True`` additionally
-        arms the provenance ledger for the block.
+        arms the provenance ledger for the block; ``profile=True`` arms
+        the per-span latency histograms.
         """
         was_enabled = self.enabled
         was_prov = self.prov
+        was_profile = self.profile
         prior_jsonl = self._jsonl_path
         prior_capacity = self._ring_capacity
         self.reset()
         self.enable(jsonl_path=jsonl_path, ring_capacity=ring_capacity)
         self.prov = prov
+        if profile:
+            self.enable_profile()
+        else:
+            self.disable_profile()
         try:
             yield self
         finally:
@@ -197,6 +261,8 @@ class Observability:
             if was_enabled:
                 self.enable(jsonl_path=prior_jsonl, ring_capacity=prior_capacity)
                 self.prov = was_prov
+                if was_profile:
+                    self.enable_profile()
 
     # -- conveniences over the pair -------------------------------------
 

@@ -16,22 +16,36 @@ sections from other writers are preserved, so the overhead regressions in
 each contribute their slice independently. Tests opt in through the
 ``BENCH_OBS_JSON`` environment variable (CI sets it; a plain local run
 writes nothing).
+
+Every write also refreshes a ``run`` section with the run's metadata
+(:func:`run_metadata`: artifact schema version, python/platform, seed,
+git sha when available), which ``benchmarks/regress.py`` uses to refuse
+comparisons between incompatible runs.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform as _platform
+import subprocess
+import sys
 from typing import Any, Dict, Iterable, Optional
 
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.profile import latency_summary
 from repro.obs.report import layer_self_times
 from repro.obs.trace import Span
 
 __all__ = [
     "BENCH_OBS_ENV",
     "DEFAULT_BENCH_JSON",
+    "SCHEMA_VERSION",
     "bench_json_target",
+    "git_sha",
+    "run_metadata",
     "layer_section",
+    "latency_section",
     "update_bench_json",
 ]
 
@@ -40,6 +54,53 @@ BENCH_OBS_ENV = "BENCH_OBS_JSON"
 
 #: Conventional artifact name, relative to the current directory.
 DEFAULT_BENCH_JSON = "BENCH_obs.json"
+
+#: Version of the artifact layout; bump on incompatible shape changes.
+#: ``regress.py`` refuses to compare artifacts with different versions.
+SCHEMA_VERSION = 1
+
+_GIT_SHA_CACHE: Optional[str] = None
+_GIT_SHA_RESOLVED = False
+
+
+def git_sha() -> Optional[str]:
+    """The current short git sha, or None outside a repo (cached)."""
+    global _GIT_SHA_CACHE, _GIT_SHA_RESOLVED
+    if not _GIT_SHA_RESOLVED:
+        _GIT_SHA_RESOLVED = True
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            )
+            if out.returncode == 0:
+                _GIT_SHA_CACHE = out.stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA_CACHE = None
+    return _GIT_SHA_CACHE
+
+
+def run_metadata(seed: Optional[int] = None) -> Dict[str, Any]:
+    """Identity of this run, stamped into every artifact.
+
+    ``seed`` is whatever seed the writer pinned (e.g. a fault-schedule
+    seed); ``$PYTHONHASHSEED`` is recorded when set so hash-order-
+    sensitive drifts can be ruled out when two runs disagree.
+    """
+    hash_seed = os.environ.get("PYTHONHASHSEED")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "platform": f"{sys.platform}-{_platform.machine()}",
+        "seed": seed if seed is not None else (
+            int(hash_seed) if hash_seed and hash_seed.isdigit() else None
+        ),
+        "git_sha": git_sha(),
+    }
 
 
 def bench_json_target() -> Optional[str]:
@@ -61,8 +122,9 @@ def update_bench_json(path: str, section: str, values: Dict[str, Any]) -> Dict[s
     """Merge ``values`` under ``section`` into the JSON file at ``path``.
 
     Reads the existing document (tolerating a missing or corrupt file),
-    replaces just the named section, and writes the result back with
-    stable key ordering. Returns the merged document.
+    replaces just the named section, refreshes the ``run`` metadata
+    section, and writes the result back with stable key ordering.
+    Returns the merged document.
     """
     document: Dict[str, Any] = {}
     try:
@@ -73,6 +135,8 @@ def update_bench_json(path: str, section: str, values: Dict[str, Any]) -> Dict[s
     except (OSError, ValueError):
         pass
     document[section] = values
+    if section != "run":
+        document["run"] = run_metadata()
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -94,3 +158,9 @@ def layer_section(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
         }
         for layer, ms in sorted(times.items())
     }
+
+
+def latency_section(snapshot: MetricsSnapshot) -> Dict[str, Dict[str, float]]:
+    """Per-span-name latency quantiles (``OBS.profile`` histograms) as an
+    artifact section: count, mean, p50/p95/p99 per operation."""
+    return latency_summary(snapshot)

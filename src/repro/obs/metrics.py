@@ -138,6 +138,37 @@ class HistogramSnapshot:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimated by linear interpolation within the
+        bucket that contains it.
+
+        Buckets only record counts, so the estimate assumes observations
+        are spread uniformly inside each bucket; the first finite edge
+        bounds the first bucket below at 0 (all default bucket sets are
+        non-negative latencies/sizes). Conventions:
+
+        - an empty (or non-positive ``count``) snapshot returns ``0.0``;
+        - a quantile landing in the overflow (``+Inf``) bucket clamps to
+          the last finite boundary — there is no upper edge to
+          interpolate toward;
+        - ``q`` outside ``[0, 1]`` raises :class:`MetricError`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile: q must be in [0, 1], got {q}")
+        if self.count <= 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for edge, bucket in zip(self.boundaries, self.counts):
+            if bucket > 0 and cumulative + bucket >= target:
+                fraction = (target - cumulative) / bucket
+                return lower + (edge - lower) * fraction
+            cumulative += bucket
+            lower = edge
+        # Landed in the +Inf overflow bucket: clamp to the last edge.
+        return self.boundaries[-1]
+
 
 _EMPTY_HIST_CACHE: Dict[Tuple[float, ...], HistogramSnapshot] = {}
 

@@ -56,6 +56,35 @@ class Measurement:
         self._require_trials("stdev")
         return stdev(self.trials_ms) if len(self.trials_ms) > 1 else 0.0
 
+    @property
+    def mad_ms(self) -> float:
+        """Median absolute deviation — the robust spread estimate the
+        perf regression gate (``benchmarks/regress.py``) pairs with the
+        median for its noise-aware comparison rule."""
+        self._require_trials("mad")
+        center = median(self.trials_ms)
+        return median(abs(sample - center) for sample in self.trials_ms)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the raw trials (nearest-rank)."""
+        self._require_trials("quantile")
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"measurement {self.label!r}: q must be in [0, 1]")
+        ordered = sorted(self.trials_ms)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def as_dict(self) -> Dict[str, float]:
+        """The artifact shape ``benchmarks/perf_suite.py`` emits per op:
+        median + MAD (the gate's inputs) plus mean/p95 for the record."""
+        return {
+            "median_ms": round(self.median_ms, 6),
+            "mad_ms": round(self.mad_ms, 6),
+            "mean_ms": round(self.mean_ms, 6),
+            "p95_ms": round(self.quantile(0.95), 6),
+            "trials": len(self.trials_ms),
+        }
+
     def layer_counters(self) -> Dict[str, Dict[str, int]]:
         """The captured metrics delta grouped by taxonomy layer (empty when
         the measurement ran without ``capture_metrics``)."""

@@ -16,7 +16,8 @@ import pytest
 
 from repro.android.intents import Intent
 from repro.core.cow import initiator_key
-from repro.obs import OBS
+from repro.obs import OBS, critical_path, latency_summary
+from repro.obs.export import to_chrome_trace, to_folded_stacks
 from repro.obs.monitor import SecurityMonitor
 # The rule engine lives in repro.obs.sweep so that the offline sweep
 # (Device.recover() included) and the online SecurityMonitor share one
@@ -99,15 +100,16 @@ def table1_trace(loaded_device):
     verdicts against the offline sweep's."""
     # CamScanner needs the attachment image staged before it is spawned
     # confined; receive_attachment handles that inside the capture.
-    with OBS.capture(ring_capacity=65536, prov=True) as obs:
+    with OBS.capture(ring_capacity=65536, prov=True, profile=True) as obs:
         monitor = SecurityMonitor(
             obs.tracer, list(loaded_device.apps), ledger=obs.provenance
         )
         with monitor:
             run_table1_delegates(loaded_device)
         trees = obs.trees()
+        latency = latency_summary(obs.metrics.snapshot())
         assert obs.tracer.ring.dropped == 0, "ring too small for the sweep"
-    return loaded_device, trees, monitor
+    return loaded_device, trees, monitor, latency
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +117,7 @@ def table1_trace(loaded_device):
 # ----------------------------------------------------------------------
 
 def test_no_delegate_span_touches_a_foreign_priv(table1_trace):
-    env, trees, _ = table1_trace
+    env, trees, _, _ = table1_trace
     violations, delegate_spans = sweep(trees, list(env.apps))
     assert delegate_spans > 50, (
         "positive control failed: the sweep saw almost no delegate-"
@@ -127,7 +129,7 @@ def test_no_delegate_span_touches_a_foreign_priv(table1_trace):
 def test_online_monitor_matches_the_offline_sweep(table1_trace):
     """Shared-rule-engine equivalence: the streaming monitor must reach
     the same verdicts as the post-hoc sweep over the same spans."""
-    env, trees, monitor = table1_trace
+    env, trees, monitor, _ = table1_trace
     offline, offline_delegate_spans = sweep_violations(
         trees, list(env.apps), ledger=OBS.provenance
     )
@@ -141,7 +143,7 @@ def test_online_monitor_matches_the_offline_sweep(table1_trace):
 def test_sweep_covers_every_scenarios_delegate_context(table1_trace):
     """Each Table 1 delegate pair must appear in the trace, so a scenario
     silently running unconfined (ctx ``B`` instead of ``B^A``) fails."""
-    env, trees, _ = table1_trace
+    env, trees, _, _ = table1_trace
     seen = {
         ctx
         for _, ctx in spans_with_inherited_ctx(trees)
@@ -176,7 +178,7 @@ def test_delegate_writable_roots_stay_in_the_pair_or_initiator_area(table1_trace
     """Every writable branch observed under a delegate context resolves to
     the ``B@A`` pair area or the initiator's volatile area — never to a
     bare foreign package root."""
-    env, trees, _ = table1_trace
+    env, trees, _, _ = table1_trace
     checked = 0
     for node, ctx in spans_with_inherited_ctx(trees):
         pair = parse_delegate_ctx(ctx)
@@ -196,3 +198,56 @@ def test_delegate_writable_roots_stay_in_the_pair_or_initiator_area(table1_trace
             f"the pair/initiator areas {sorted(allowed)}"
         )
     assert checked > 10, "positive control: no writable-branch spans swept"
+
+
+# ----------------------------------------------------------------------
+# Profiling the same trace (the perf plane over the security sweep)
+# ----------------------------------------------------------------------
+
+def test_critical_path_attributes_delegate_invocations(table1_trace):
+    """For every Table 1 delegate-invocation tree, the critical-path
+    report must attribute at least 95% of the root span's wall time to
+    layer self-times — unattributed time means an instrumentation gap."""
+    _, trees, _, _ = table1_trace
+    invocations = [tree for tree in trees if tree.span.name.startswith("am.")]
+    assert invocations, "no delegate-invocation roots in the Table 1 trace"
+    for tree in invocations:
+        report = critical_path(tree)
+        assert report.coverage >= 0.95, (
+            f"{report.root}: layers attribute only "
+            f"{report.coverage * 100.0:.1f}% of {report.total_ms:.3f} ms"
+        )
+        assert report.steps[0].name == tree.span.name
+        assert report.hottest_layer in report.by_layer
+
+
+def test_table1_trace_exports_to_perfetto_and_flamegraph(table1_trace):
+    """The whole security-sweep trace must survive both exporters: the
+    Chrome/Perfetto JSON keeps every delegate context on its own pid row,
+    and the folded stacks stay parseable by flamegraph.pl."""
+    env, trees, _, _ = table1_trace
+    document = to_chrome_trace(trees)
+    events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(events) == sum(1 for tree in trees for _ in tree.walk())
+    process_names = {
+        e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    for ctx in (f"{ADOBE}^{EMAIL}", f"{VPLAYER}^{WRAPPER}"):
+        assert ctx in process_names, f"delegate ctx {ctx} has no pid row"
+    stacks = to_folded_stacks(trees)
+    assert stacks
+    for line in stacks:
+        stack, _, weight = line.rpartition(" ")
+        assert stack and int(weight) > 0
+
+
+def test_table1_latency_histograms_cover_the_hot_layers(table1_trace):
+    """``profile=True`` on the sweep capture must yield per-span-name
+    latency summaries for the layers every scenario exercises."""
+    _, _, _, latency = table1_trace
+    assert {"vfs.open", "vfs.read", "zygote.fork"} <= set(latency)
+    for name, row in latency.items():
+        assert row["count"] >= 1, name
+        assert 0.0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], name

@@ -158,3 +158,93 @@ class TestSnapshotAlgebra:
         delta = diff(a, b)
         assert delta.counter("vfs.open") == 3
         assert delta.histograms["lat"].count == 1
+
+
+class TestQuantile:
+    """HistogramSnapshot.quantile: interpolation plus the documented edge
+    cases (empty snapshot, single bucket, +Inf overflow bucket)."""
+
+    def snap(self, boundaries, values):
+        metrics = Metrics()
+        for v in values:
+            metrics.observe("q", v, boundaries)
+        return metrics.snapshot().histograms["q"]
+
+    def test_empty_snapshot_returns_zero(self):
+        metrics = Metrics()
+        metrics.histogram("q", (1.0, 2.0))
+        hist = metrics.snapshot().histograms["q"]
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 0.0
+
+    def test_diffed_to_empty_snapshot_returns_zero(self):
+        hist = self.snap((1.0, 2.0), [0.5, 1.5])
+        assert (hist - hist).quantile(0.95) == 0.0
+
+    def test_single_bucket_interpolates_from_zero(self):
+        hist = self.snap((10.0,), [3.0, 4.0])  # both land in (0, 10]
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+
+    def test_overflow_bucket_clamps_to_last_finite_edge(self):
+        hist = self.snap((1.0, 5.0), [100.0, 200.0])  # all in +Inf bucket
+        assert hist.quantile(0.5) == 5.0
+        assert hist.quantile(0.99) == 5.0
+
+    def test_interpolation_within_a_uniform_bucket(self):
+        # 4 observations in (1, 2]: p50 -> halfway through that bucket.
+        hist = self.snap((1.0, 2.0), [1.1, 1.2, 1.8, 1.9])
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(0.25) == pytest.approx(1.25)
+
+    def test_quantile_spans_multiple_buckets(self):
+        hist = self.snap((1.0, 2.0, 4.0), [0.5, 1.5, 3.0, 3.5])
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+
+    def test_out_of_range_q_rejected(self):
+        hist = self.snap((1.0,), [0.5])
+        for bad in (-0.1, 1.1):
+            with pytest.raises(MetricError):
+                hist.quantile(bad)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_quantile_is_monotone_and_bounded(self, values):
+        hist = self.snap(DEFAULT_MS_BUCKETS, values)
+        qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+        estimates = [hist.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+        assert all(0.0 <= e <= DEFAULT_MS_BUCKETS[-1] for e in estimates)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=900.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_brackets_the_true_bucket(self, values, q):
+        """The estimate never leaves the bucket the true quantile is in:
+        it is bounded by the bucket edges around the nearest-rank value."""
+        import bisect
+
+        hist = self.snap(DEFAULT_MS_BUCKETS, values)
+        ordered = sorted(values)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered)) - (q == 1.0)))
+        true_value = ordered[rank] if q > 0 else ordered[0]
+        index = bisect.bisect_left(DEFAULT_MS_BUCKETS, true_value)
+        upper = DEFAULT_MS_BUCKETS[min(index, len(DEFAULT_MS_BUCKETS) - 1)]
+        estimate = hist.quantile(q)
+        assert estimate <= upper + 1e-9

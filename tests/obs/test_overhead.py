@@ -108,3 +108,37 @@ def test_disabled_instrumentation_records_nothing(api):
     api.sys.read_file("/storage/sdcard/bench/silent.bin")
     assert len(OBS.spans()) == spans_before
     assert (OBS.metrics.snapshot() - before).nonzero().counters == {}
+
+
+def test_profile_cycle_leaves_no_residue_on_the_disabled_path(api):
+    """Arming and disarming ``OBS.profile`` must leave the disabled fast
+    path exactly as it found it: no tracer listeners, no histogram state,
+    nothing recorded by the instrumented loop afterwards. The profile
+    switch is implemented as a span listener, so an empty listener list
+    *is* the zero-cost guarantee — the hot path re-checks only
+    ``OBS.enabled``, same as before this subsystem existed."""
+    OBS.enable_profile()
+    OBS.disable()
+    OBS.reset()
+    assert not OBS.enabled and not OBS.profile
+    assert OBS.profiler.on_span not in OBS.tracer._listeners
+
+    before = OBS.metrics.snapshot()
+    for _ in range(OPS_PER_TRIAL):
+        api.sys.write_file("/storage/sdcard/bench/file.bin", b"p" * 4096)
+        api.sys.read_file("/storage/sdcard/bench/file.bin")
+    assert len(OBS.spans()) == 0
+    after = OBS.metrics.snapshot()
+    assert not any(
+        name.startswith("lat.") for name in (after - before).histograms
+    ), "profile-off loop still fed lat.* histograms"
+
+
+def test_profile_off_tracing_on_adds_no_listener_work(api):
+    """With tracing enabled but ``profile`` off, span finish must not
+    call into the profile recorder at all (listener never registered)."""
+    with OBS.capture() as obs:
+        seen_before = OBS.profiler.spans_seen
+        api.sys.read_file("/storage/sdcard/bench/file.bin")
+        assert obs.spans(), "positive control: tracing recorded nothing"
+    assert OBS.profiler.spans_seen == seen_before

@@ -154,3 +154,52 @@ def test_capture_from_disabled_leaves_everything_off():
     with OBS.capture(prov=True):
         assert OBS.enabled and OBS.prov
     assert not OBS.enabled and not OBS.prov
+
+
+# ----------------------------------------------------------------------
+# Per-span-name latency histograms (OBS.profile) in the export
+# ----------------------------------------------------------------------
+
+def test_profile_latency_histograms_are_exported():
+    with OBS.capture(profile=True) as obs:
+        for _ in range(3):
+            with OBS.tracer.span("vfs.open", path="/x"):
+                pass
+        with OBS.tracer.span("aufs.copy_up"):
+            pass
+        text = obs.metrics.to_prometheus_text()
+    assert "# TYPE lat_vfs_open histogram" in text
+    assert "lat_vfs_open_count 3" in text
+    assert 'lat_vfs_open_bucket{le="+Inf"} 3' in text
+    assert "lat_aufs_copy_up_count 1" in text
+    # Buckets are the default ms boundaries, cumulative to the count.
+    first_edge = DEFAULT_MS_BUCKETS[0]
+    assert f'lat_vfs_open_bucket{{le="{first_edge}"}}' in text
+
+
+def test_latency_histograms_absent_when_profile_off():
+    with OBS.capture() as obs:
+        with OBS.tracer.span("vfs.open"):
+            pass
+        text = obs.metrics.to_prometheus_text()
+    assert "lat_vfs_open" not in text
+
+
+def test_latency_section_shapes_quantiles(tmp_path):
+    from repro.obs.artifacts import latency_section
+
+    with OBS.capture(profile=True) as obs:
+        with OBS.tracer.span("cow.query"):
+            pass
+        section = latency_section(obs.metrics.snapshot())
+    assert set(section) == {"cow.query"}
+    row = section["cow.query"]
+    assert row["count"] == 1
+    assert {"mean_ms", "p50_ms", "p95_ms", "p99_ms"} <= set(row)
+    target = tmp_path / "BENCH_obs.json"
+    update_bench_json(str(target), "latency", section)
+    data = json.loads(target.read_text())
+    assert data["latency"]["cow.query"]["count"] == 1
+    # Every artifact write stamps the run metadata used by regress.py.
+    assert data["run"]["schema_version"] >= 1
+    assert data["run"]["python"]

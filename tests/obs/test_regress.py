@@ -1,0 +1,216 @@
+"""The BENCH regression gate (``benchmarks/regress.py``).
+
+The acceptance contract: a planted 3x slowdown in a recorded baseline is
+detected, an unchanged run passes without flagging, incompatible runs are
+refused, and every gate run appends to the trajectory file.
+"""
+
+import copy
+import json
+
+import pytest
+
+from benchmarks.regress import (
+    Verdict,
+    append_trajectory,
+    check_compatibility,
+    compare,
+    flatten_metrics,
+    main,
+    parse_budgets,
+    trajectory_entry,
+)
+from repro.obs.artifacts import run_metadata
+
+pytestmark = pytest.mark.trace
+
+
+def baseline_doc():
+    return {
+        "run": run_metadata(),
+        "micro": {
+            "delegate_read_4kb": {"median_ms": 0.10, "mad_ms": 0.005, "trials": 40},
+            "cow_dict_insert": {"median_ms": 0.20, "mad_ms": 0.010, "trials": 40},
+            "delegate_launch": {"median_ms": 1.00, "mad_ms": 0.050, "trials": 10},
+        },
+        "layers": {
+            "vfs": {"self_ms": 2.0, "fraction": 0.5},
+            "aufs": {"self_ms": 2.0, "fraction": 0.5},
+        },
+    }
+
+
+def test_flatten_skips_metadata_and_non_numbers():
+    flat = flatten_metrics(baseline_doc())
+    assert flat["micro.delegate_launch.median_ms"] == 1.00
+    assert flat["layers.vfs.self_ms"] == 2.0
+    assert not any(key.startswith("run.") for key in flat)
+
+
+def test_unchanged_run_passes_without_flagging():
+    flat = flatten_metrics(baseline_doc())
+    verdicts = compare(flat, dict(flat))
+    assert verdicts, "gate compared nothing"
+    assert not any(v.regressed for v in verdicts)
+    assert not any(v.improved for v in verdicts)
+
+
+def test_noise_within_k_mad_does_not_flag():
+    base = flatten_metrics(baseline_doc())
+    current = dict(base)
+    current["micro.delegate_read_4kb.median_ms"] = 0.10 + 4 * 0.005  # < k=5 MADs
+    assert not any(v.regressed for v in compare(current, base))
+
+
+def test_planted_3x_slowdown_is_detected():
+    base = flatten_metrics(baseline_doc())
+    current = dict(base)
+    current["micro.delegate_launch.median_ms"] = 3.0  # 3x the recorded 1.0
+    regressed = [v for v in compare(current, base) if v.regressed]
+    assert [v.metric for v in regressed] == ["micro.delegate_launch.median_ms"]
+    verdict = regressed[0]
+    assert verdict.current_ms == 3.0 and verdict.allowed_ms < 3.0
+    assert "REGRESSED" in verdict.describe()
+
+
+def test_planted_layer_blowup_is_detected_with_layer_budget():
+    base = flatten_metrics(baseline_doc())
+    current = dict(base)
+    current["layers.aufs.self_ms"] = 6.0  # 3x over the 2x layer budget
+    regressed = [v for v in compare(current, base) if v.regressed]
+    assert [v.metric for v in regressed] == ["layers.aufs.self_ms"]
+
+
+def test_per_group_budget_overrides_the_default():
+    base = flatten_metrics(baseline_doc())
+    current = dict(base)
+    current["micro.cow_dict_insert.median_ms"] = 0.30  # +50%
+    assert any(v.regressed for v in compare(current, base))
+    relaxed = compare(current, base, budgets={"cow_dict_insert": 1.0})
+    assert not any(v.regressed for v in relaxed)
+
+
+def test_min_ms_floor_silences_microsecond_noise():
+    base = {"micro.tiny.median_ms": 0.001, "micro.tiny.mad_ms": 0.0}
+    current = {"micro.tiny.median_ms": 0.01}  # 10x but within the floor
+    assert not any(v.regressed for v in compare(current, base, min_ms=0.02))
+
+
+def test_improvements_are_reported_not_flagged():
+    base = flatten_metrics(baseline_doc())
+    current = dict(base)
+    current["micro.delegate_launch.median_ms"] = 0.2
+    verdicts = compare(current, base)
+    assert any(v.improved for v in verdicts)
+    assert not any(v.regressed for v in verdicts)
+
+
+# ----------------------------------------------------------------------
+# Compatibility refusal (stamped run metadata)
+# ----------------------------------------------------------------------
+
+def test_schema_version_mismatch_is_refused():
+    base = baseline_doc()
+    current = copy.deepcopy(base)
+    current["run"]["schema_version"] = 99
+    errors, _ = check_compatibility(current, base, strict=False)
+    assert errors and "schema mismatch" in errors[0]
+
+
+def test_platform_mismatch_warns_by_default_and_refuses_in_strict():
+    base = baseline_doc()
+    current = copy.deepcopy(base)
+    current["run"]["python"] = "2.7.18"
+    errors, warnings = check_compatibility(current, base, strict=False)
+    assert not errors and warnings
+    errors, _ = check_compatibility(current, base, strict=True)
+    assert errors
+
+
+def test_artifact_without_run_metadata_is_refused():
+    base = baseline_doc()
+    errors, _ = check_compatibility({"micro": {}}, base, strict=False)
+    assert errors
+
+
+# ----------------------------------------------------------------------
+# Trajectory and CLI
+# ----------------------------------------------------------------------
+
+def test_append_trajectory_accumulates_entries(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    append_trajectory(str(path), {"ok": True, "n": 1})
+    history = append_trajectory(str(path), {"ok": False, "n": 2})
+    assert [entry["n"] for entry in history] == [1, 2]
+    assert json.loads(path.read_text()) == history
+
+
+def test_trajectory_entry_shape():
+    verdicts = [
+        Verdict("micro.x.median_ms", "x", 1.0, 3.0, 1.5, True, False),
+        Verdict("micro.y.median_ms", "y", 1.0, 1.0, 1.5, False, False),
+    ]
+    entry = trajectory_entry(baseline_doc(), verdicts, ok=False)
+    assert entry["ok"] is False
+    assert entry["checked"] == 2
+    assert len(entry["regressions"]) == 1
+    assert entry["metrics"]["micro.x.median_ms"] == 3.0
+    assert entry["run"]["schema_version"] == run_metadata()["schema_version"]
+
+
+def test_parse_budgets():
+    assert parse_budgets(["vfs=0.5", "aufs=1"]) == {"vfs": 0.5, "aufs": 1.0}
+    with pytest.raises(ValueError):
+        parse_budgets(["vfs"])
+
+
+def write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_cli_end_to_end_pass_fail_and_refuse(tmp_path, capsys):
+    base_path = write(tmp_path / "baseline.json", baseline_doc())
+    current = baseline_doc()
+    current_path = write(tmp_path / "current.json", current)
+    trajectory = tmp_path / "BENCH_trajectory.json"
+
+    args = ["--current", current_path, "--baseline", base_path,
+            "--trajectory", str(trajectory)]
+    assert main(args) == 0
+
+    slow = copy.deepcopy(current)
+    slow["micro"]["delegate_launch"]["median_ms"] = 3.0
+    slow_path = write(tmp_path / "slow.json", slow)
+    assert main(["--current", slow_path, "--baseline", base_path,
+                 "--trajectory", str(trajectory)]) == 1
+    assert main(["--current", slow_path, "--baseline", base_path,
+                 "--trajectory", str(trajectory), "--warn-only"]) == 0
+
+    incompatible = copy.deepcopy(current)
+    incompatible["run"]["schema_version"] = 99
+    bad_path = write(tmp_path / "bad.json", incompatible)
+    assert main(["--current", bad_path, "--baseline", base_path,
+                 "--trajectory", str(trajectory)]) == 2
+
+    assert main(["--current", str(tmp_path / "missing.json"),
+                 "--baseline", base_path]) == 2
+
+    history = json.loads(trajectory.read_text())
+    assert [entry["ok"] for entry in history] == [True, False, False]
+    capsys.readouterr()  # swallow gate output
+
+
+def test_committed_baseline_is_gate_compatible():
+    """The baseline in the repo must carry current-schema run metadata
+    and at least the micro metric set the gate compares."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "BENCH_baseline.json")
+    with open(path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    assert baseline["run"]["schema_version"] == run_metadata()["schema_version"]
+    flat = flatten_metrics(baseline)
+    assert any(key.endswith("median_ms") for key in flat)
+    assert any(key.startswith("layers.") for key in flat)
