@@ -59,6 +59,11 @@ class ContentProvider:
     #: Package owning an app-defined provider; None marks a trusted system
     #: provider reachable by delegates.
     owner: Optional[str] = None
+    #: Android's ``android:exported="true"`` with no permission attribute:
+    #: any app may open the provider's URIs without a per-URI grant. The
+    #: indirect-file-leak attack surface (see repro.apps.adversarial) —
+    #: Binder policy for delegates still applies on top.
+    exported: bool = False
 
     def insert(self, uri: Uri, values: ContentValues, context: TaskContext) -> Uri:
         raise NotImplementedError
@@ -245,7 +250,11 @@ class ContentResolver:
         checks per-URI grants (unless the caller is the owner, its
         delegate running for the owner's initiator chain, or was granted)."""
         provider = self.provider(uri.authority)
-        if provider.owner is not None and process.context.app != provider.owner:
+        if (
+            provider.owner is not None
+            and not provider.exported
+            and process.context.app != provider.owner
+        ):
             caller = process.context.app or ""
             if not self.grants.consume(caller, uri):
                 raise SecurityException(

@@ -19,7 +19,20 @@ from repro.apps.email_app import EmailApp
 from repro.apps.browser import BrowserApp
 from repro.apps.ebookdroid import EBookDroidApp
 from repro.apps.wrapper import WrapperApp
-from repro.apps.catalog import install_standard_apps, STANDARD_PACKAGES
+from repro.apps.adversarial import (
+    ADVERSARIAL_PACKAGES,
+    ClipboardLaundererApp,
+    FileExfilBrowserApp,
+    InterpreterApp,
+    LeakyProviderApp,
+    install_adversarial_apps,
+)
+from repro.apps.catalog import (
+    ALL_PACKAGES,
+    STANDARD_PACKAGES,
+    install_full_corpus,
+    install_standard_apps,
+)
 from repro.apps.fleet import build_study_fleet, install_fleet, run_fleet_as_delegates
 
 __all__ = [
@@ -37,8 +50,16 @@ __all__ = [
     "BrowserApp",
     "EBookDroidApp",
     "WrapperApp",
+    "InterpreterApp",
+    "FileExfilBrowserApp",
+    "LeakyProviderApp",
+    "ClipboardLaundererApp",
     "install_standard_apps",
+    "install_adversarial_apps",
+    "install_full_corpus",
     "STANDARD_PACKAGES",
+    "ADVERSARIAL_PACKAGES",
+    "ALL_PACKAGES",
     "build_study_fleet",
     "install_fleet",
     "run_fleet_as_delegates",

@@ -1,0 +1,65 @@
+"""The adversarial app corpus: attacker classes beyond Table 1.
+
+The cooperative Table 1 catalogue exercises apps that leak state by
+*carelessness*; Maxoid's actual claim is safety against apps that leak
+on purpose. This package models the indirect-file-leak (IFL) attacker
+classes from *Cross-Platform Analysis of Indirect File Leaks* — each one
+a deliberate exfiltration channel that stock Android permits:
+
+- :class:`~repro.apps.adversarial.interpreter.InterpreterApp` — a
+  command-interpreter app (terminal emulator / script runner) that
+  blindly executes victim-supplied command scripts, including reads of
+  arbitrary paths and writes to world-readable storage;
+- :class:`~repro.apps.adversarial.exfil_browser.FileExfilBrowserApp` —
+  a browser that serves ``file://`` URIs and uploads whatever it renders
+  to its home server and a public outbox;
+- :class:`~repro.apps.adversarial.leaky_provider.LeakyProviderApp` — an
+  *exported* content provider with no permission check and a
+  path-traversing file interface over everything the app ever ingested;
+- :class:`~repro.apps.adversarial.launderer.ClipboardLaundererApp` — a
+  clipboard mule that polls the clipboard and republishes every paste to
+  public external storage.
+
+Installed on a Maxoid device and driven as delegates, every one of these
+channels must dead-end in ``Vol(initiator)`` (S1-S4 hold); driven without
+delegation they are ordinary public-state apps and must trip *zero*
+rules. The fuzz plane (:mod:`repro.fuzz`) drives both regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.adversarial.exfil_browser import FileExfilBrowserApp
+from repro.apps.adversarial.interpreter import InterpreterApp
+from repro.apps.adversarial.launderer import ClipboardLaundererApp
+from repro.apps.adversarial.leaky_provider import LeakyProviderApp
+from repro.apps.base import SimApp
+
+__all__ = [
+    "ADVERSARIAL_PACKAGES",
+    "ClipboardLaundererApp",
+    "FileExfilBrowserApp",
+    "InterpreterApp",
+    "LeakyProviderApp",
+    "install_adversarial_apps",
+]
+
+#: Attacker app classes, keyed by package name (mirrors STANDARD_PACKAGES).
+ADVERSARIAL_PACKAGES: Dict[str, type] = {
+    cls.BUILD.package: cls
+    for cls in (
+        InterpreterApp,
+        FileExfilBrowserApp,
+        LeakyProviderApp,
+        ClipboardLaundererApp,
+    )
+}
+
+
+def install_adversarial_apps(device: Any) -> Dict[str, SimApp]:
+    """Install the attacker corpus; returns package -> app instance."""
+    installed: Dict[str, SimApp] = {}
+    for package, cls in ADVERSARIAL_PACKAGES.items():
+        installed[package] = cls.install(device)
+    return installed

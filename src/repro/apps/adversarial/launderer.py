@@ -1,0 +1,66 @@
+"""A clipboard mule: launders secrets through the global clipboard.
+
+The clipboard is world-readable on stock Android: anything a victim (or
+a victim's delegate) copies is visible to every installed app. This mule
+polls the clipboard and republishes each paste to public external
+storage — the laundering hop that defeats path-based access rules,
+because the mule itself never touches the victim's files.
+
+Maxoid's per-confinement-domain clipboards (paper section 6.2) break the
+channel: a delegate's copy lands in the initiator's delegate clipboard,
+so the mule's poll of the main clipboard comes back empty. Disabling
+exactly that isolation is the fuzz plane's canonical planted
+vulnerability — the taint-flow S1 rule then flags the mule's publish
+with a lineage running file -> clipboard -> file back to the Priv source.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.android.app_api import AppApi
+from repro.android.intents import Intent, IntentFilter
+from repro.apps.base import AppBuild, SimApp
+
+PACKAGE = "com.attacker.clipmule"
+
+#: External-storage directory pastes are republished into.
+LOOT_DIR = "clipmule/loot"
+
+
+class ClipboardLaundererApp(SimApp):
+    """Polls the clipboard; republishes every paste publicly."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="Clip Mule",
+        handles=[IntentFilter(actions=[Intent.ACTION_MAIN], priority=0)],
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Paths of published loot files, in poll order.
+        self.loot: List[str] = []
+
+    def on_main_action(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        return {"published": self.poll(api)}
+
+    def poll(self, api: AppApi) -> Optional[str]:
+        """One poll: paste, and publish the paste if there was one."""
+        text = api.clipboard_get()
+        if not text:
+            return None
+        path = api.write_external(
+            f"{LOOT_DIR}/loot-{len(self.loot)}.bin", text.encode("latin-1")
+        )
+        self.loot.append(path)
+        return path
+
+    def relay(self, api: AppApi, prefix: str = "") -> Optional[str]:
+        """Paste and immediately re-copy — a pure laundering hop that
+        moves data between clipboard domains the mule can reach."""
+        text = api.clipboard_get()
+        if text is None:
+            return None
+        api.clipboard_set(prefix + text)
+        return text

@@ -1,0 +1,135 @@
+"""An exported, unprotected content provider: the IFL provider class.
+
+Real-world incident reports are full of apps shipping
+``android:exported="true"`` providers with no permission attribute and a
+path-traversing ``openFile()`` — any co-installed app can read whatever
+the vulnerable app has ingested. This models that class: the app hoards
+every document it is asked to VIEW into a private inbox, and its
+provider serves the inbox to *any* caller, no grant required
+(``exported = True`` skips the per-URI grant check).
+
+The Maxoid story: when the hoarding happened inside a delegate session
+(``leaky^A``), the inbox copy lives in ``Priv(leaky^A)`` — a plain
+instance of the same app serving the provider cannot even see the file,
+so the exported surface has nothing to leak. On a planted-vulnerability
+or stock device the serve succeeds and the caller's subsequent publish
+is exactly what the taint-flow S1 rule catches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.android.app_api import AppApi
+from repro.android.content.provider import ContentProvider
+from repro.android.intents import Intent, IntentFilter
+from repro.android.uri import Uri
+from repro.apps.base import AppBuild, SimApp
+from repro.kernel import path as vpath
+from repro.kernel.proc import TaskContext
+from repro.minisql.engine import ResultSet
+from repro.obs import OBS as _OBS
+
+PACKAGE = "com.attacker.leakyprovider"
+AUTHORITY = "com.attacker.leakyprovider.files"
+
+#: Internal-storage directory the app hoards ingested documents into.
+INBOX_DIR = "inbox"
+
+
+class LeakyFilesProvider(ContentProvider):
+    """``content://com.attacker.leakyprovider.files/<name>`` -> inbox bytes.
+
+    Exported and unprotected: the resolver skips per-URI grants entirely.
+    The file is read through the app's own process (its view of its
+    internal storage), mirroring Android's provider-runs-in-owner-process
+    semantics — which is precisely why delegate-session inbox entries are
+    invisible to a plain serving instance under Maxoid.
+    """
+
+    authority = AUTHORITY
+    owner = PACKAGE
+    exported = True  # android:exported="true", no permission attribute
+
+    def __init__(self, app: "LeakyProviderApp") -> None:
+        self._app = app
+
+    def open_file(self, uri: Uri, context: TaskContext) -> bytes:
+        api = self._app.require_api()
+        name = "/".join(uri.segments)  # no sanitization: path traversal
+        data = api.read_internal(f"{INBOX_DIR}/{name}")
+        if _OBS.prov:
+            # The descriptor hand-off moves the served process's taint to
+            # the caller (the binder layer pushed the caller as actor).
+            _, caller_pid = _OBS.provenance.current_actor()
+            if caller_pid is not None:
+                _OBS.provenance.transfer(
+                    api.process.pid, caller_pid, "provider.open_file", str(uri)
+                )
+        return data
+
+    def query(
+        self,
+        uri: Uri,
+        projection: Optional[Sequence[str]],
+        where: Optional[str],
+        params: Sequence[object],
+        order_by: Optional[str],
+        context: TaskContext,
+    ) -> ResultSet:
+        return ResultSet(
+            columns=["name"], rows=[(n,) for n in sorted(self._app.ingested)]
+        )
+
+
+class LeakyProviderApp(SimApp):
+    """Document hoarder behind the exported provider."""
+
+    BUILD = AppBuild(
+        package=PACKAGE,
+        label="Leaky Provider",
+        handles=[IntentFilter(actions=[Intent.ACTION_VIEW], priority=0)],
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.provider = LeakyFilesProvider(self)
+        #: Names ever ingested (app metadata, survives respawns).
+        self.ingested: List[str] = []
+        self._device: Optional[Any] = None
+        self._serving_api: Optional[AppApi] = None
+
+    def on_install(self, device: Any, installed: Any) -> None:
+        self._device = device
+        device.register_app_provider(self.provider)
+
+    def require_api(self) -> AppApi:
+        """The provider's serving process: always a *plain* instance of
+        the owner (Android runs providers in the owner's own process) —
+        so inbox entries a delegate session hoarded into Priv(leaky^A)
+        are simply not in the serving process's view."""
+        if self._serving_api is None:
+            if self._device is None:
+                raise RuntimeError(f"{PACKAGE} is not installed on a device")
+            self._serving_api = self._device.spawn(PACKAGE)
+        return self._serving_api
+
+    # -- intent entry point ----------------------------------------------
+
+    def on_view(self, api: AppApi, intent: Intent) -> Dict[str, Any]:
+        path = intent.extras.get("path")
+        if path is None:
+            return {"ingested": None}
+        return {"ingested": self.ingest(api, str(path))}
+
+    def ingest(self, api: AppApi, path: str) -> str:
+        """Copy an arbitrary path into the inbox the provider serves."""
+        data = api.sys.read_file(path)
+        name = vpath.basename(path)
+        api.write_internal(f"{INBOX_DIR}/{name}", data)
+        if name not in self.ingested:
+            self.ingested.append(name)
+        return name
+
+    def content_uri(self, name: str) -> Uri:
+        return Uri.content(AUTHORITY, name)

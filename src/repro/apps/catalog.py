@@ -2,13 +2,17 @@
 
 Gives experiments one call to stand up the 2.2 case-study environment:
 the data-processing apps of Table 1 plus the four apps that need help,
-the Maxoid-aware EBookDroid, and the wrapper app.
+the Maxoid-aware EBookDroid, and the wrapper app. The adversarial corpus
+(:mod:`repro.apps.adversarial` — deliberate exfiltration apps, not
+merely careless ones) registers alongside it; ``install_full_corpus``
+stands up both for the fuzz plane and the adversarial scenario suite.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict
 
+from repro.apps.adversarial import ADVERSARIAL_PACKAGES, install_adversarial_apps
 from repro.apps.base import SimApp
 from repro.apps.browser import BrowserApp
 from repro.apps.camera import CameraApp
@@ -42,9 +46,20 @@ STANDARD_PACKAGES = {
 }
 
 
+#: The whole corpus: the cooperative Table 1 set plus the attackers.
+ALL_PACKAGES = {**STANDARD_PACKAGES, **ADVERSARIAL_PACKAGES}
+
+
 def install_standard_apps(device: Any) -> Dict[str, SimApp]:
     """Install every catalogued app; returns package -> app instance."""
     installed: Dict[str, SimApp] = {}
     for package, cls in STANDARD_PACKAGES.items():
         installed[package] = cls.install(device)
+    return installed
+
+
+def install_full_corpus(device: Any) -> Dict[str, SimApp]:
+    """Install the Table 1 catalogue *and* the adversarial corpus."""
+    installed = install_standard_apps(device)
+    installed.update(install_adversarial_apps(device))
     return installed

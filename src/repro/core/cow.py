@@ -384,11 +384,27 @@ class CowProxy:
                 target = self.resolve(name, initiator, for_write=False)
                 span.set(target=target)
                 _OBS.metrics.count("cow.query")
-                return self._query_impl(
+                result = self._query_impl(
                     name, target, projection, where, params, order_by, limit
                 )
+                if _OBS.prov:
+                    self._prov_table_read(name, initiator)
+                return result
         target = self.resolve(name, initiator, for_write=False)
-        return self._query_impl(name, target, projection, where, params, order_by, limit)
+        result = self._query_impl(name, target, projection, where, params, order_by, limit)
+        if _OBS.prov:
+            self._prov_table_read(name, initiator)
+        return result
+
+    def _prov_table_read(self, name: str, initiator: Optional[str]) -> None:
+        """Taint the querying actor with the stamped rows its view spans:
+        the primary table for everyone, plus the caller's own delta table
+        when the query ran as a delegate (other initiators' delta rows are
+        invisible to this view and must not over-taint)."""
+        tables = [name.lower()]
+        if initiator is not None:
+            tables.append(self.delta_name(name, initiator))
+        _OBS.provenance.table_read(tables)
 
     def _query_impl(
         self,

@@ -1,0 +1,102 @@
+"""Property-based delegation fuzzing with lineage counterexamples.
+
+The adversarial corpus (:mod:`repro.apps.adversarial`) gives the
+reproduction apps that *try* to leak; this package drives them. Three
+pieces cooperate:
+
+- :mod:`repro.fuzz.reachability` — a PolyScope-style triage pass that
+  enumerates every ``(subject, resource, op)`` triple a delegation
+  topology makes reachable, pruning the combinatorially hopeless part of
+  the op space *before* any fuzzing happens;
+- :mod:`repro.fuzz.ops` + :mod:`repro.fuzz.harness` — a small op
+  language (spawn, read, publish, clipboard, provider, fault, crash) and
+  a world that executes op sequences on a fresh device with the online
+  :class:`~repro.obs.monitor.SecurityMonitor` attached, asserting S1-S4
+  through the shared ``obs/sweep.py`` rule engine after every step;
+- :mod:`repro.fuzz.stateful` + :mod:`repro.fuzz.driver` — a hypothesis
+  :class:`RuleBasedStateMachine` over the reachable pool, and a seeded
+  scenario driver whose every violation shrinks to a minimal op sequence
+  rendered with its ``provenance.explain()`` derivation chain and a
+  byte-identical replay fingerprint.
+
+A planted-vulnerability mode (:data:`repro.fuzz.harness.PLANTED_VULNS`)
+disables exactly one Maxoid enforcement point so the unmodified rule
+engine has a real bug to find — the fuzzer proving it can catch what it
+is supposed to catch.
+"""
+
+from repro.fuzz.harness import (
+    FuzzWorld,
+    PLANTED_VULNS,
+    RunResult,
+    SECRET_PATH,
+    VICTIM_PACKAGE,
+)
+from repro.fuzz.ops import (
+    ArmFault,
+    BrowseFile,
+    ClearVolatile,
+    ClipCopy,
+    ClipPaste,
+    CrashNow,
+    DisarmFaults,
+    IngestDocument,
+    Op,
+    ProviderFetch,
+    ProviderInsert,
+    ProviderQuery,
+    ReadExternal,
+    ReadSecret,
+    RunScript,
+    Spawn,
+    VolatileCommit,
+    WriteExternal,
+)
+from repro.fuzz.driver import (
+    Counterexample,
+    fuzz_sweep,
+    run_scenario,
+    scenario_from_seed,
+    shrink,
+)
+from repro.fuzz.reachability import (
+    ReachabilityReport,
+    Subject,
+    Triple,
+    triage,
+)
+
+__all__ = [
+    "FuzzWorld",
+    "PLANTED_VULNS",
+    "RunResult",
+    "SECRET_PATH",
+    "VICTIM_PACKAGE",
+    "Op",
+    "Spawn",
+    "ReadSecret",
+    "ReadExternal",
+    "WriteExternal",
+    "ClipCopy",
+    "ClipPaste",
+    "RunScript",
+    "BrowseFile",
+    "IngestDocument",
+    "ProviderFetch",
+    "ProviderInsert",
+    "ProviderQuery",
+    "VolatileCommit",
+    "ClearVolatile",
+    "ArmFault",
+    "DisarmFaults",
+    "CrashNow",
+    "Counterexample",
+    "scenario_from_seed",
+    "run_scenario",
+    "shrink",
+    "fuzz_sweep",
+    "Subject",
+    "Triple",
+    "ReachabilityReport",
+    "triage",
+]

@@ -1,0 +1,199 @@
+"""PolyScope-style reachability triage for the delegation fuzz space.
+
+Before fuzzing, enumerate every ``(subject, resource, op)`` triple a
+delegation topology could attempt and decide *statically* — from the
+Maxoid policy the paper specifies, not from running anything — whether
+the attempt can even reach its resource. Triples the reference monitor
+denies outright (a plain app opening foreign package-private state, a
+delegate dialling out, a delegate binding a foreign app's provider) are
+pruned with the denying rule as the reason; what remains is the attack
+surface worth spending fuzz examples on.
+
+This mirrors PolyScope's insight for Android scoped storage: most of the
+raw permission-combinatorics are unreachable under the platform policy,
+and triaging them away first turns an intractable product space into a
+small audit set. Here the pruned fraction is reported so tests can
+assert the triage actually bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Subject", "Triple", "ReachabilityReport", "triage", "RESOURCE_OPS"]
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One acting process class in a topology: an app, possibly a
+    delegate (``initiator`` set) of another."""
+
+    package: str
+    initiator: Optional[str] = None
+
+    @property
+    def is_delegate(self) -> bool:
+        return self.initiator is not None
+
+    @property
+    def key(self) -> str:
+        return f"{self.package}^{self.initiator}" if self.is_delegate else self.package
+
+    def __str__(self) -> str:
+        return self.key
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One candidate fuzz action: ``subject`` performing ``op`` on
+    ``resource``."""
+
+    subject: Subject
+    resource: str
+    op: str
+    #: How the platform transforms a reachable op ("" = verbatim).
+    note: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.subject} {self.op} {self.resource}"
+        return f"{text} ({self.note})" if self.note else text
+
+
+#: Ops attempted per resource class during enumeration.
+RESOURCE_OPS: Dict[str, Tuple[str, ...]] = {
+    "priv": ("read", "write"),
+    "ext": ("read", "write"),
+    "clip": ("copy", "paste"),
+    "provider": ("open", "insert", "query"),
+    "net": ("connect",),
+}
+
+
+@dataclass
+class ReachabilityReport:
+    """The triage outcome: what to fuzz, what was pruned and why."""
+
+    reachable: List[Triple] = field(default_factory=list)
+    pruned: List[Tuple[Triple, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.reachable) + len(self.pruned)
+
+    @property
+    def pruned_fraction(self) -> float:
+        return len(self.pruned) / self.total if self.total else 0.0
+
+    def pool(self, subject: Subject) -> List[Triple]:
+        """The reachable triples of one subject — its fuzz op pool."""
+        return [t for t in self.reachable if t.subject == subject]
+
+    def is_reachable(self, subject: Subject, resource: str, op: str) -> bool:
+        return any(
+            t.subject == subject and t.resource == resource and t.op == op
+            for t in self.reachable
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.reachable)}/{self.total} triples reachable "
+            f"({self.pruned_fraction:.0%} pruned)"
+        )
+
+
+def _classify(
+    subject: Subject,
+    resource: str,
+    op: str,
+    providers: Dict[str, Tuple[Optional[str], bool]],
+    maxoid: bool,
+) -> Tuple[bool, str]:
+    """Decide one triple. Returns ``(reachable, reason_or_note)``."""
+    kind, _, target = resource.partition(":")
+
+    if kind == "priv":
+        if target == subject.package:
+            return True, ""
+        if not maxoid:
+            # Stock Android still has per-UID sandboxes; foreign priv is
+            # unreachable either way. (The leaks the corpus models go
+            # *around* this wall, never through it.)
+            return False, "UID sandbox: foreign package-private state"
+        if subject.is_delegate and target == subject.initiator:
+            if op == "read":
+                return True, "initiator view"
+            return True, "copy-up; redirected to Vol(initiator)"
+        return False, "EACCES: package-private to this subject"
+
+    if kind == "ext":
+        if subject.is_delegate and op == "write" and maxoid:
+            return True, "redirected to Vol(initiator)"
+        return True, ""
+
+    if kind == "clip":
+        if subject.is_delegate and maxoid:
+            return True, f"domain vol:{subject.initiator}"
+        return True, "domain <main>"
+
+    if kind == "provider":
+        owner, exported = providers.get(target, (None, False))
+        if owner is None:
+            # Trusted system provider: reachable by everyone; delegates
+            # get their COW view.
+            return (True, "COW view") if subject.is_delegate and maxoid else (True, "")
+        if subject.package == owner:
+            return True, "own provider"
+        if subject.is_delegate and maxoid:
+            # Binder policy: a delegate talks to the system, its
+            # initiator, and sibling delegates — an app-defined provider
+            # endpoint runs in its owner's plain context.
+            if owner == subject.initiator:
+                return True, "initiator-owned provider"
+            return False, "IPC guard: foreign app endpoint"
+        if exported:
+            return True, "exported, no grant needed"
+        return False, "no per-URI grant"
+
+    if kind == "net":
+        if subject.is_delegate and maxoid:
+            return False, "ENETUNREACH: delegates are offline"
+        return True, ""
+
+    raise ValueError(f"unknown resource class {resource!r}")
+
+
+def triage(
+    subjects: Iterable[Subject],
+    packages: Sequence[str],
+    providers: Optional[Dict[str, Tuple[Optional[str], bool]]] = None,
+    maxoid: bool = True,
+) -> ReachabilityReport:
+    """Enumerate and classify the full op space of a topology.
+
+    ``providers`` maps authority -> ``(owner_package, exported)``; owner
+    ``None`` marks a trusted system provider. The resource universe per
+    subject is every package's private state, shared external storage,
+    the clipboard, every provider, and the network.
+    """
+    providers = dict(providers or {})
+    report = ReachabilityReport()
+    resources: List[str] = [f"priv:{package}" for package in packages]
+    resources.append("ext:shared")
+    resources.append("clip:clipboard")
+    resources.extend(f"provider:{authority}" for authority in sorted(providers))
+    resources.append("net:internet")
+
+    for subject in subjects:
+        for resource in resources:
+            kind = resource.partition(":")[0]
+            for op in RESOURCE_OPS[kind]:
+                reachable, reason = _classify(
+                    subject, resource, op, providers, maxoid
+                )
+                triple = Triple(subject, resource, op, note=reason if reachable else "")
+                if reachable:
+                    report.reachable.append(triple)
+                else:
+                    report.pruned.append((triple, reason))
+    return report

@@ -1,0 +1,219 @@
+"""The hypothesis stateful fuzzer: random delegation chains under S1-S4.
+
+:class:`DelegationMachine` is a hypothesis ``RuleBasedStateMachine``
+over one :class:`~repro.fuzz.harness.FuzzWorld` per example. Rules spawn
+plain and delegate subjects into a bundle and drive the reachable op
+pool against them — file reads and publishes, clipboard traffic,
+provider rows, the adversarial apps' own leak recipes, mid-sequence
+seeded faults and whole-device crashes. After **every** rule the
+machine's invariant asserts the online monitor saw no S1-S4 violation;
+on a stock Maxoid device any counterexample hypothesis shrinks to is a
+genuine confinement bug (:class:`ConfinementViolated` carries the
+violations with their full lineage chains).
+
+Subclass with ``planted = "<name>"`` (see
+:data:`~repro.fuzz.harness.PLANTED_VULNS`) to hand the machine a world
+with one enforcement point disabled — the positive control proving the
+invariant can actually fail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    multiple,
+    rule,
+)
+
+from repro.apps.adversarial import exfil_browser, interpreter, launderer, leaky_provider
+from repro.fuzz.harness import FuzzWorld, SECRET_PATH, VICTIM_PACKAGE
+from repro.fuzz.ops import (
+    ArmFault,
+    BrowseFile,
+    ClipCopy,
+    ClipPaste,
+    CrashNow,
+    DisarmFaults,
+    IngestDocument,
+    ProviderFetch,
+    ProviderInsert,
+    ProviderQuery,
+    ReadExternal,
+    ReadSecret,
+    RunScript,
+    Spawn,
+    WriteExternal,
+)
+
+__all__ = ["ConfinementViolated", "DelegationMachine"]
+
+_ATTACKERS = (
+    interpreter.PACKAGE,
+    exfil_browser.PACKAGE,
+    leaky_provider.PACKAGE,
+    launderer.PACKAGE,
+)
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+class ConfinementViolated(AssertionError):
+    """A fuzzed op sequence broke S1-S4; message carries the lineage."""
+
+
+class DelegationMachine(RuleBasedStateMachine):
+    """Random op sequences over random delegation topologies."""
+
+    #: Set to a PLANTED_VULNS key in a subclass for the positive control.
+    planted: Optional[str] = None
+    maxoid: bool = True
+
+    actors = Bundle("actors")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.world = FuzzWorld(planted=self.planted, maxoid=self.maxoid)
+        self.world.start()
+
+    def teardown(self) -> None:
+        self.world.close()
+
+    # -- topology rules --------------------------------------------------
+
+    @initialize(target=actors)
+    def seed_topology(self) -> "multiple":
+        """Every example starts from the interesting base topology: the
+        victim, one delegate of it, and one plain attacker — so rules
+        spend the step budget on op interleavings, not on re-deriving
+        the same three spawns."""
+        delegate = Spawn(interpreter.PACKAGE, VICTIM_PACKAGE)
+        mule = Spawn(launderer.PACKAGE)
+        for op in (Spawn(VICTIM_PACKAGE), delegate, mule):
+            self.world.step(op)
+        return multiple(VICTIM_PACKAGE, delegate.key, mule.key)
+
+    @rule(target=actors)
+    def spawn_victim(self) -> str:
+        self.world.step(Spawn(VICTIM_PACKAGE))
+        return VICTIM_PACKAGE
+
+    @rule(target=actors, package=st.sampled_from(_ATTACKERS))
+    def spawn_attacker(self, package: str) -> str:
+        op = Spawn(package)
+        self.world.step(op)
+        return op.key
+
+    @rule(target=actors, package=st.sampled_from(_ATTACKERS))
+    def spawn_delegate(self, package: str) -> str:
+        op = Spawn(package, VICTIM_PACKAGE)
+        self.world.step(op)
+        return op.key
+
+    # -- file and clipboard rules ---------------------------------------
+
+    @rule(actor=actors)
+    def read_secret(self, actor: str) -> None:
+        self.world.step(ReadSecret(actor))
+
+    @rule(actor=actors, name=_names)
+    def publish(self, actor: str, name: str) -> None:
+        self.world.step(WriteExternal(actor, name))
+
+    @rule(actor=actors, name=_names)
+    def read_shared(self, actor: str, name: str) -> None:
+        self.world.step(ReadExternal(actor, name))
+
+    @rule(actor=actors)
+    def clip_copy(self, actor: str) -> None:
+        self.world.step(ClipCopy(actor))
+
+    @rule(actor=actors)
+    def clip_paste(self, actor: str) -> None:
+        self.world.step(ClipPaste(actor))
+
+    # Composite rules mirroring what the attacker apps do as *one*
+    # action — without them the machine must line up 5+ primitive rules
+    # in exact order to complete a laundering chain, and the bounded CI
+    # example budget would rarely witness the planted vulnerability.
+
+    @rule(actor=actors)
+    def copy_out_secret(self, actor: str) -> None:
+        """A subject grabs the secret and copies it to its clipboard."""
+        self.world.step(ReadSecret(actor))
+        self.world.step(ClipCopy(actor))
+
+    @rule(actor=actors, name=_names)
+    def mule_poll(self, actor: str, name: str) -> None:
+        """A subject pastes its clipboard and publishes the paste."""
+        self.world.step(ClipPaste(actor))
+        self.world.step(WriteExternal(actor, name))
+
+    # -- adversarial-app rules ------------------------------------------
+
+    @rule(actor=actors, name=_names)
+    def interpreter_leak(self, actor: str, name: str) -> None:
+        if actor.split("^")[0] != interpreter.PACKAGE:
+            return
+        script = f"read {SECRET_PATH}\nexfil {name}\nclip-copy"
+        self.world.step(RunScript(actor, script))
+
+    @rule(actor=actors)
+    def browse_secret(self, actor: str) -> None:
+        if actor.split("^")[0] != exfil_browser.PACKAGE:
+            return
+        self.world.step(BrowseFile(actor, SECRET_PATH))
+
+    @rule(actor=actors)
+    def ingest_secret(self, actor: str) -> None:
+        if actor.split("^")[0] != leaky_provider.PACKAGE:
+            return
+        self.world.step(IngestDocument(actor, SECRET_PATH))
+
+    @rule(actor=actors)
+    def fetch_served(self, actor: str) -> None:
+        self.world.step(ProviderFetch(actor, "secret.txt"))
+
+    # -- provider-row rules ----------------------------------------------
+
+    @rule(actor=actors)
+    def dictionary_insert(self, actor: str) -> None:
+        self.world.step(ProviderInsert(actor))
+
+    @rule(actor=actors)
+    def dictionary_query(self, actor: str) -> None:
+        self.world.step(ProviderQuery(actor))
+
+    # -- fault rules ------------------------------------------------------
+
+    @rule(
+        point=st.sampled_from(("vfs.write", "vol.commit", "aufs.copy_up")),
+        nth=st.integers(min_value=1, max_value=3),
+    )
+    def arm_fault(self, point: str, nth: int) -> None:
+        self.world.step(ArmFault(point, nth=nth))
+
+    @rule()
+    def disarm_faults(self) -> None:
+        self.world.step(DisarmFaults())
+
+    @rule()
+    def crash_device(self) -> None:
+        self.world.step(CrashNow())
+
+    # -- the property -----------------------------------------------------
+
+    @invariant()
+    def confinement_holds(self) -> None:
+        violations = self.world.violations
+        if violations:
+            raise ConfinementViolated(
+                f"{len(violations)} violation(s) after "
+                f"{len(self.world.outcomes)} ops:\n"
+                + "\n".join(v.render() for v in violations)
+            )

@@ -241,12 +241,19 @@ class Observability:
         leaking or clobbering global state. ``prov=True`` additionally
         arms the provenance ledger for the block; ``profile=True`` arms
         the per-span latency histograms.
+
+        Listeners attached *inside* the block (a SecurityMonitor, say)
+        are removed on exit even when the block raises mid-span, and any
+        provenance actor scopes the aborted op left pushed are cleared —
+        one capture cannot leak monitor callbacks or actor attribution
+        into the next.
         """
         was_enabled = self.enabled
         was_prov = self.prov
         was_profile = self.profile
         prior_jsonl = self._jsonl_path
         prior_capacity = self._ring_capacity
+        prior_listeners = list(self.tracer._listeners)
         self.reset()
         self.enable(jsonl_path=jsonl_path, ring_capacity=ring_capacity)
         self.prov = prov
@@ -258,6 +265,12 @@ class Observability:
             yield self
         finally:
             self.disable()
+            self.tracer._listeners[:] = [
+                listener
+                for listener in self.tracer._listeners
+                if listener in prior_listeners
+            ]
+            self.provenance.clear_actors()
             if was_enabled:
                 self.enable(jsonl_path=prior_jsonl, ring_capacity=prior_capacity)
                 self.prov = was_prov

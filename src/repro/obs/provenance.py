@@ -139,7 +139,7 @@ class TaintNode:
             tags = ", ".join(sorted(str(label) for label in self.all_labels()))
             return f"source {self.detail} [{tags}]"
         text = self.op
-        if self.op.endswith(".read") or self.op.endswith(".get"):
+        if self.op.endswith((".read", ".get", ".query", ".open_file")):
             text += f" of {self.detail}"
         if self.ctx:
             text += f" by {self.ctx}"
@@ -266,6 +266,28 @@ class ProvenanceLedger:
             return Label.vol(ctx)
         return Label.public()
 
+    def _declassify(
+        self, labels: FrozenSet[Label], ctx: Optional[str], location: Label
+    ) -> FrozenSet[Label]:
+        """A *plain* process publishing to a Public location declassifies
+        the labels it owns — an app (or the user driving it) may choose
+        to publish its own data, and flagging every later reader of that
+        data would drown real leaks in false positives. Foreign labels
+        always persist: nobody declassifies someone else's state. A
+        delegate never declassifies anything — under Maxoid its public
+        writes land in Vol anyway, and on a broken device (planted
+        vulnerability, stock baseline) the surviving taint is exactly
+        what the S1 taint rule needs to see."""
+        if location.kind != "public" or not labels or ctx is None:
+            return labels
+        if parse_delegate_ctx(ctx) is not None:
+            return labels
+        return frozenset(
+            label
+            for label in labels
+            if not (label.owner == ctx and label.via is None)
+        )
+
     def _resolve_object(self, path: str, ino: Optional[int], ctx: Optional[str]) -> TaintNode:
         key = self._file_key(path, ino)
         node = self._objects.get(key)
@@ -322,6 +344,11 @@ class ProvenanceLedger:
         if self._actors:
             self._actors.pop()
 
+    def clear_actors(self) -> None:
+        """Drop any residual actor scopes (teardown after an aborted op
+        that raised between a push and its balancing pop)."""
+        self._actors.clear()
+
     def current_actor(self) -> Tuple[Optional[str], Optional[int]]:
         """The innermost ``(ctx, pid)`` actor, or ``(None, None)``."""
         return self._actors[-1] if self._actors else (None, None)
@@ -344,6 +371,7 @@ class ProvenanceLedger:
         prev = self._process.get(pid)
         labels = prev.labels if prev is not None else frozenset()
         location = self._dest_location(path, ctx)
+        labels = self._declassify(labels, ctx, location)
         node = self._node(
             "vfs.write", path, ctx, labels,
             (prev,) if prev is not None else (), location,
@@ -390,6 +418,16 @@ class ProvenanceLedger:
         self._paths[dst_path] = dst_key
         self._emit("commit", src=src_path, dst=dst_path, initiator=initiator)
 
+    def transfer(self, from_pid: int, to_pid: int, op: str, detail: str) -> None:
+        """A cross-process data hand-off (a provider ``openFile``
+        descriptor): the serving process's taint joins the receiver's."""
+        src = self._process.get(from_pid)
+        if src is None:
+            return
+        ctx = self._proc_ctx.get(to_pid) or self.current_actor()[0]
+        self._taint_process(to_pid, ctx, op, detail, src)
+        self._emit("transfer", op=op, detail=detail)
+
     # -- row events ------------------------------------------------------
 
     def row_write(
@@ -408,6 +446,7 @@ class ProvenanceLedger:
             location: Label = Label.vol(initiator)
         else:
             location = Label.public()
+            labels = self._declassify(labels, ctx, location)
         node = self._node(
             op, f"{table}[{pk}]", ctx, labels,
             (actor,) if actor is not None else (), location,
@@ -435,6 +474,21 @@ class ProvenanceLedger:
         self._objects[self.row_key(table, pk)] = node
         self._emit("commit", table=table, pk=pk, initiator=initiator)
 
+    def table_read(self, tables: Iterable[str]) -> None:
+        """A query scanned ``tables``: every stamped row's labels join the
+        current actor's taint. Callers pass exactly the tables their view
+        resolves to (primary only for plain callers, primary + delta for
+        delegates), so rows invisible to the view never over-taint."""
+        ctx, pid = self.current_actor()
+        if pid is None:
+            return
+        for table in tables:
+            prefix = f"row:{table.lower()}:"
+            for key, node in list(self._objects.items()):
+                if key.startswith(prefix):
+                    self._taint_process(pid, ctx, "cow.query", node.detail, node)
+        self._emit("query", tables=",".join(tables))
+
     # -- clipboard events ------------------------------------------------
 
     def clip_set(self, pid: int, ctx: str, domain: str) -> None:
@@ -445,6 +499,7 @@ class ProvenanceLedger:
             location: Label = Label.vol(domain[len("vol:"):])
         else:
             location = Label.public()
+        labels = self._declassify(labels, ctx, location)
         node = self._node(
             "clip.set", domain, ctx, labels,
             (prev,) if prev is not None else (), location,

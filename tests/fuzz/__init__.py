@@ -1,0 +1,1 @@
+"""Adversarial corpus and delegation-fuzzer tests."""

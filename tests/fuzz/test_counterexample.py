@@ -1,0 +1,67 @@
+"""Counterexample packaging: render, JSON artifact, replay determinism.
+
+The shrunk counterexample is the fuzzer's whole deliverable — these
+tests pin its shape: the render names the seed and the violated rule,
+the JSON artifact (what the CI fuzz lane uploads) round-trips
+``to_dict()``, and two independent sweeps over the same seed range
+produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz import fuzz_sweep
+from repro.fuzz.harness import VICTIM_PACKAGE
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fuzz_sweep(40, planted="clipboard-isolation")
+
+
+def test_render_names_seed_planted_mode_and_rule(report):
+    assert report.found
+    rendered = report.counterexample.render()
+    assert f"seed={report.counterexample.seed}" in rendered
+    assert "planted=clipboard-isolation" in rendered
+    assert "minimal sequence" in rendered
+    assert "S1" in rendered
+    assert f"[Priv({VICTIM_PACKAGE})]" in rendered
+
+
+def test_artifact_json_round_trips(tmp_path):
+    artifact = tmp_path / "counterexample.json"
+    found = fuzz_sweep(
+        40, planted="clipboard-isolation", artifact_path=str(artifact)
+    )
+    assert found.found
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload == found.counterexample.to_dict()
+    assert payload["planted"] == "clipboard-isolation"
+    assert payload["maxoid"] is True
+    assert payload["ops"]
+    assert payload["violations"]
+    assert payload["fingerprint"] == found.counterexample.fingerprint
+
+
+def test_clean_sweep_writes_no_artifact(tmp_path):
+    artifact = tmp_path / "counterexample.json"
+    clean = fuzz_sweep(5, artifact_path=str(artifact))
+    assert not clean.found
+    assert not artifact.exists()
+
+
+def test_sweeps_are_byte_identical_across_runs(report):
+    again = fuzz_sweep(40, planted="clipboard-isolation")
+    assert again.found
+    assert again.counterexample.to_dict() == report.counterexample.to_dict()
+
+
+def test_replay_reproduces_the_recorded_fingerprint(report):
+    counterexample = report.counterexample
+    assert counterexample.replay().fingerprint() == counterexample.fingerprint

@@ -1,0 +1,127 @@
+"""The delegation fuzzer: clean on stock Maxoid, sharp on planted bugs.
+
+Two regimes, mirroring the acceptance bar:
+
+- **Soundness** (no false positives): the hypothesis stateful machine
+  and the seeded sweep over the unmodified rule engine + enforcement
+  must produce *zero* violations. ``FUZZ_EXAMPLES`` / ``FUZZ_SWEEP``
+  scale the budgets (the CI fuzz lane raises them to 500+).
+- **Sensitivity** (no false negatives): with exactly one enforcement
+  point disabled (``PLANTED_VULNS``), both fuzzers must find a
+  violation; the seeded driver must shrink it to a minimal sequence
+  whose counterexample replays byte-identically from its seed and whose
+  lineage reaches the ``Priv`` source.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.fuzz import fuzz_sweep, scenario_from_seed, run_scenario
+from repro.fuzz.harness import VICTIM_PACKAGE
+from repro.fuzz.stateful import ConfinementViolated, DelegationMachine
+
+pytestmark = pytest.mark.fuzz
+
+#: Seeded-sweep budget; the CI fuzz lane raises this to >= 500.
+SWEEP_N = int(os.environ.get("FUZZ_SWEEP", "40"))
+
+
+class PlantedClipboardMachine(DelegationMachine):
+    planted = "clipboard-isolation"
+
+
+# ---------------------------------------------------------------------------
+# Soundness
+# ---------------------------------------------------------------------------
+
+
+# The machine *is* the test: hypothesis drives DelegationMachine examples
+# under the pinned repro-ci profile; the invariant raising anywhere fails.
+TestDelegationInvariant = DelegationMachine.TestCase
+
+
+def test_seeded_sweep_is_clean_on_stock_maxoid():
+    report = fuzz_sweep(SWEEP_N)
+    assert not report.found, report.counterexample.render()
+    assert report.examples == SWEEP_N
+
+
+def test_scenarios_are_deterministic():
+    for seed in (0, 7, 23):
+        first = [op.render() for op in scenario_from_seed(seed)]
+        second = [op.render() for op in scenario_from_seed(seed)]
+        assert first == second
+
+
+def test_runs_are_reproducible():
+    ops = scenario_from_seed(11)
+    assert (
+        run_scenario(ops).fingerprint() == run_scenario(ops).fingerprint()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity (planted-vulnerability positive controls)
+# ---------------------------------------------------------------------------
+
+
+def test_stateful_machine_finds_planted_vulnerability():
+    cfg = settings(
+        settings.get_profile("repro-ci-noshrink"),
+        max_examples=max(80, int(os.environ.get("FUZZ_EXAMPLES", "80"))),
+    )
+    with pytest.raises(ConfinementViolated) as caught:
+        run_state_machine_as_test(PlantedClipboardMachine, settings=cfg)
+    message = str(caught.value)
+    assert "S1" in message
+    assert f"Priv({VICTIM_PACKAGE})" in message
+
+
+def test_sweep_finds_shrinks_and_explains_planted_vulnerability():
+    report = fuzz_sweep(SWEEP_N, planted="clipboard-isolation")
+    assert report.found
+    counterexample = report.counterexample
+
+    # Shrunk: every remaining op is load-bearing.
+    for index in range(len(counterexample.ops)):
+        reduced = [
+            op for i, op in enumerate(counterexample.ops) if i != index
+        ]
+        assert not run_scenario(
+            reduced, planted="clipboard-isolation"
+        ).violations, f"op {index} was removable"
+
+    # The report names the rule and carries a lineage that reaches the
+    # planted Priv source.
+    rendered = counterexample.render()
+    assert "S1" in rendered
+    assert f"source /data/data/{VICTIM_PACKAGE}/secrets/secret.txt" in rendered
+    assert f"[Priv({VICTIM_PACKAGE})]" in rendered
+
+    # Byte-identical replay from the recorded seed alone.
+    assert counterexample.replay().fingerprint() == counterexample.fingerprint
+
+
+def test_planted_counterexample_is_minimal_laundering_chain():
+    """The canonical planted bug shrinks to the exact 6-op chain:
+    spawn delegate, read, copy, spawn mule, paste, publish."""
+    report = fuzz_sweep(SWEEP_N, planted="clipboard-isolation")
+    assert report.found
+    renders = [op.render() for op in report.counterexample.ops]
+    assert len(renders) <= 7
+    assert any("read secret" in line for line in renders)
+    assert any("clipboard copy" in line for line in renders)
+    assert any("clipboard paste" in line for line in renders)
+    assert any("publish" in line for line in renders)
+
+
+def test_stock_android_baseline_is_loud():
+    """Sanity: with Maxoid off entirely, the very first seeds violate —
+    the corpus attacks are real and the monitor sees them."""
+    report = fuzz_sweep(5, maxoid=False)
+    assert report.found

@@ -1,0 +1,92 @@
+"""``provenance.explain()`` across a multi-hop laundering chain.
+
+The chain under test moves the victim's secret through every IPC
+medium the corpus models — file read, clipboard, exported content
+provider, file write — on a world with the clipboard-isolation
+vulnerability planted (so the cross-domain hop is live):
+
+1. a delegate browser reads the secret (``vfs.read``),
+2. copies it to the clipboard (``clip.set``; planted bug collapses the
+   per-domain clipboards, so it lands on ``<main>``),
+3. a plain leaky-provider app pastes it (``clip.get``) and stashes it in
+   its served inbox (``vfs.write`` to its private dir — *not*
+   declassified: the data is the victim's, not the writer's),
+4. a plain mule fetches it over the exported provider surface
+   (``provider.open_file`` Binder transfer) and
+5. publishes it to shared storage (``vfs.write`` to public).
+
+``explain()`` on the published file must surface the *entire*
+derivation — every hop, ending at the ``Priv`` source — and the online
+monitor's S1 violation must carry the same lineage, because that
+rendered chain is exactly what a shrunk counterexample shows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.adversarial import exfil_browser, launderer, leaky_provider
+from repro.fuzz.harness import FuzzWorld, SECRET_PATH, VICTIM_PACKAGE
+from repro.obs import OBS
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.fixture
+def planted_world():
+    world = FuzzWorld(planted="clipboard-isolation")
+    world.start()
+    try:
+        yield world
+    finally:
+        world.close()
+
+
+def _launder(world: FuzzWorld) -> str:
+    """Run the 4-medium chain; returns the final public path."""
+    delegate = world.apis[
+        world.spawn(exfil_browser.PACKAGE, VICTIM_PACKAGE)
+    ]
+    secret = delegate.sys.read_file(SECRET_PATH)
+    delegate.clipboard_set(secret.decode("latin-1"))
+
+    leaky = world.apis[world.spawn(leaky_provider.PACKAGE)]
+    pasted = leaky.clipboard_get() or ""
+    leaky.write_internal("inbox/secret.txt", pasted.encode("latin-1"))
+
+    mule = world.apis[world.spawn(launderer.PACKAGE)]
+    provider_app = world.apps[leaky_provider.PACKAGE]
+    served = mule.open_input(provider_app.content_uri("secret.txt"))
+    return mule.write_external("fuzz/laundered.bin", served)
+
+
+def test_explain_renders_every_hop_back_to_the_priv_source(planted_world):
+    out_path = _launder(planted_world)
+    rendered = OBS.provenance.explain(out_path).render()
+    # Every medium the data crossed appears, in one derivation chain.
+    for hop in (
+        "vfs.write",
+        "provider.open_file",
+        "clip.get",
+        "clip.set",
+        "vfs.read",
+    ):
+        assert hop in rendered, f"missing hop {hop}:\n{rendered}"
+    # The chain bottoms out at the planted secret with its Priv label.
+    assert f"source {SECRET_PATH}" in rendered
+    assert f"[Priv({VICTIM_PACKAGE})]" in rendered
+    # The delegate and all three plain attackers are attributed.
+    assert f"{exfil_browser.PACKAGE}^{VICTIM_PACKAGE}" in rendered
+    assert launderer.PACKAGE in rendered
+
+
+def test_monitor_violation_carries_the_full_lineage(planted_world):
+    _launder(planted_world)
+    s1 = [v for v in planted_world.violations if v.render().startswith("S1")]
+    assert s1, [v.render() for v in planted_world.violations]
+    rendered = s1[-1].render()
+    # The violation's counterexample lineage shows the provider hop and
+    # the clipboard hop, not just the final write.
+    assert "provider.open_file" in rendered
+    assert "clip.set" in rendered
+    assert f"[Priv({VICTIM_PACKAGE})]" in rendered
