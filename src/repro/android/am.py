@@ -22,6 +22,7 @@ from repro.android.zygote import Zygote
 from repro.kernel.binder import BinderDriver, Transaction
 from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 # An app's entry point: receives (process, intent), returns a result that
 # is handed back to the invoker (startActivityForResult semantics).
@@ -155,6 +156,8 @@ class ActivityManagerService:
         *,
         forced_initiator: Optional[str] = None,
     ) -> Invocation:
+        if _SCHED.enabled:
+            _SCHED.yield_point("am.start_activity", action=intent.action)
         target = self.resolve(intent, caller=caller.context.app)
         if forced_initiator is not None:
             initiator: Optional[str] = forced_initiator
@@ -185,6 +188,11 @@ class ActivityManagerService:
                 initiator=initiator,
                 pid=process.pid,
             )
+        if _SCHED.enabled:
+            # The fork happened but the endpoint/guard bookkeeping has
+            # not: the classic in-flight window the orphan reaper (and
+            # the interleaving sweep) care about.
+            _SCHED.yield_point("am.bookkeeping", target=target)
         endpoint_name = f"app:{process.pid}"
         self._binder.register(
             endpoint_name, lambda txn: None, owner=target, is_system=False,

@@ -47,6 +47,7 @@ from repro.minisql import ast_nodes as ast
 from repro.minisql.engine import ResultSet
 from repro.minisql.parser import parse
 from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 #: Primary keys allocated for delegate inserts start here (paper: "the
 #: delta table's primary key starts at a large number N").
@@ -616,6 +617,10 @@ class CowProxy:
             _FAULTS.hit(
                 "cow.delta_commit", table=name, initiator=initiator, row_id=row_id
             )
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "cow.delta_commit", table=name, resource=f"table:{name}", rw="w"
+            )
         entry = self._journal_commit_intent(name, initiator, row_id, sealed=1)
         if entry is None:
             return False
@@ -638,6 +643,10 @@ class CowProxy:
         if _FAULTS.enabled:
             _FAULTS.hit(
                 "cow.delta_commit", table=name, initiator=initiator, rows=len(row_ids)
+            )
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "cow.delta_commit", table=name, resource=f"table:{name}", rw="w"
             )
         entries = []
         for row_id in row_ids:
@@ -741,6 +750,13 @@ class CowProxy:
         for entry in entries:
             if _FAULTS.enabled:
                 _FAULTS.hit("cow.delta_commit.apply", table=entry["tbl"])
+            if _SCHED.enabled:
+                _SCHED.yield_point(
+                    "cow.delta_commit.apply",
+                    table=entry["tbl"],
+                    resource=f"table:{entry['tbl']}",
+                    rw="w",
+                )
             self._apply_record(entry["tbl"], entry["record"])
             if _OBS.prov and "delta" in entry:
                 # `recover()` replays from the journal payload alone (no

@@ -89,6 +89,7 @@ class Device:
         self.network = NetworkStack()
         self.branches = BranchManager(self.system_fs)
         self.audit_log = AuditLog()
+        self.binder.attach_audit_log(self.audit_log)
         self.commit_journal = CommitJournal(self.system_fs)
         # -- namespaces -------------------------------------------------------
         # Every app sees the system fs at / and public external storage at

@@ -28,10 +28,20 @@ from repro.core.context import same_confinement_domain
 from repro.core.manifest import MaxoidManifest
 from repro.kernel.binder import BinderDriver, BinderEndpoint
 from repro.kernel.proc import TaskContext
+from repro.sched import SCHED as _SCHED
 
 
 class IpcGuard:
     """Maxoid's IPC policy, shared by the Binder driver and the AM."""
+
+    #: PLANTED single-enforcement-point race, off by default (armed only
+    #: by the fuzz plane's ``binder-guard-race`` bug mode). When set, the
+    #: instance registry is rebuilt non-atomically on every registration
+    #: (clear -> preemption window -> repopulate) and the policy check
+    #: fails *open* for endpoints missing from the registry — a classic
+    #: check-then-act TOCTOU that only an adversarial interleaving can
+    #: exploit. The detector (provenance + S1-S4 rules) is untouched.
+    racy_guard: bool = False
 
     def __init__(self, binder: BinderDriver) -> None:
         # Live app-instance endpoints: endpoint name -> its task context.
@@ -43,6 +53,18 @@ class IpcGuard:
     # ------------------------------------------------------------------
 
     def register_instance(self, endpoint_name: str, context: TaskContext) -> None:
+        if self.racy_guard and _SCHED.enabled:
+            # Racy variant: rebuild the whole registry instead of a
+            # point update, with a yield inside the empty window.
+            entries = dict(self._instance_contexts)
+            entries[endpoint_name] = context
+            self._instance_contexts.clear()
+            _SCHED.yield_point(
+                "guard.rebuild", endpoint=endpoint_name, resource="guard-registry",
+                rw="w",
+            )
+            self._instance_contexts.update(entries)
+            return
         self._instance_contexts[endpoint_name] = context
 
     def unregister_instance(self, endpoint_name: str) -> None:
@@ -57,6 +79,18 @@ class IpcGuard:
             return True
         if not sender.is_delegate:
             return True
+        if self.racy_guard and _SCHED.enabled:
+            _SCHED.yield_point(
+                "guard.decide", endpoint=endpoint.name, resource="guard-registry",
+                rw="r",
+            )
+            target_context = self._instance_contexts.get(endpoint.name)
+            if target_context is None:
+                # Fail-open "compatibility" branch: treat an unknown
+                # endpoint as mid-registration and let it through. Only
+                # reachable while a racy rebuild window is open.
+                return True
+            return same_confinement_domain(sender, target_context)
         target_context = self._instance_contexts.get(endpoint.name)
         if target_context is None:
             # Unknown app endpoint: refuse — a delegate may not open new

@@ -29,6 +29,7 @@ from repro.kernel.syscall import Syscalls
 from repro.core.branches import BranchManager
 from repro.core.journal import CommitJournal
 from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 EXT_TMP = vpath.join(EXTDIR, "tmp")
 
@@ -106,6 +107,10 @@ class VolatileFiles:
             raise FileNotFound(f"{tmp_path} is not a volatile path")
         if _FAULTS.enabled:
             _FAULTS.hit("vol.commit", initiator=self._package, path=tmp_path)
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "vol.commit", path=tmp_path, resource=f"file:{tmp_path}", rw="r"
+            )
         data = self._sys.read_file(tmp_path)
         # Crash-atomic commit: journal the intent (payload included), then
         # apply, then truncate. After any crash, recovery either replays
@@ -123,6 +128,13 @@ class VolatileFiles:
             )
         if _FAULTS.enabled:
             _FAULTS.hit("vol.commit.apply", initiator=self._package, path=destination)
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "vol.commit.apply",
+                path=destination,
+                resource=f"file:{destination}",
+                rw="w",
+            )
         self._sys.makedirs(vpath.parent(destination))
         self._sys.write_file(destination, data)
         if _OBS.prov:
@@ -134,6 +146,8 @@ class VolatileFiles:
             _FAULTS.hit(
                 "vol.commit.truncate", initiator=self._package, path=destination
             )
+        if _SCHED.enabled:
+            _SCHED.yield_point("vol.commit.truncate", path=destination)
         if entry is not None:
             self._journal.truncate(entry)
         return destination

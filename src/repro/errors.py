@@ -170,3 +170,9 @@ class IpcDenied(MaxoidError):
 class DelegateNetworkDenied(MaxoidError):
     """A delegate asked a trusted service to touch the network on its
     behalf (e.g. a Downloads fetch request, paper section 6.2)."""
+
+
+class DelegateTimeout(MaxoidError):
+    """A binder delegate invocation blew through its virtual-clock
+    deadline (and its bounded retries) under the deterministic
+    scheduler; surfaced in the AuditLog instead of hanging a schedule."""

@@ -40,7 +40,9 @@ from repro.fuzz.ops import (
     ClipPaste,
     CrashNow,
     DisarmFaults,
+    DropLoot,
     IngestDocument,
+    Invoke,
     Op,
     ProviderFetch,
     ProviderInsert,
@@ -59,6 +61,14 @@ from repro.fuzz.driver import (
     scenario_from_seed,
     shrink,
 )
+from repro.fuzz.interleave import (
+    InterleaveResult,
+    InterleaveSweepReport,
+    RaceCounterexample,
+    concurrent_scenario_from_seed,
+    interleave_sweep,
+    run_interleaved,
+)
 from repro.fuzz.reachability import (
     ReachabilityReport,
     Subject,
@@ -74,6 +84,8 @@ __all__ = [
     "VICTIM_PACKAGE",
     "Op",
     "Spawn",
+    "Invoke",
+    "DropLoot",
     "ReadSecret",
     "ReadExternal",
     "WriteExternal",
@@ -95,6 +107,12 @@ __all__ = [
     "run_scenario",
     "shrink",
     "fuzz_sweep",
+    "InterleaveResult",
+    "InterleaveSweepReport",
+    "RaceCounterexample",
+    "concurrent_scenario_from_seed",
+    "interleave_sweep",
+    "run_interleaved",
     "Subject",
     "Triple",
     "ReachabilityReport",

@@ -60,9 +60,21 @@ def _disable_clipboard_isolation(device: Device) -> None:
     device.clipboard._maxoid = False
 
 
+def _arm_binder_guard_race(device: Device) -> None:
+    """A single-enforcement-point *race*: the binder delegate guard gets
+    a non-atomic registry rebuild (clear -> preemption window ->
+    repopulate) plus a fail-open branch for endpoints missing from the
+    registry. Sequentially invisible — only an adversarial interleaving
+    under the deterministic scheduler can drive a delegate's transaction
+    through the empty window. The rule engine is untouched."""
+    if device.ipc_guard is not None:
+        device.ipc_guard.racy_guard = True
+
+
 #: name -> device mutator. One Maxoid enforcement point disabled each.
 PLANTED_VULNS: Dict[str, Callable[[Device], None]] = {
     "clipboard-isolation": _disable_clipboard_isolation,
+    "binder-guard-race": _arm_binder_guard_race,
 }
 
 

@@ -21,6 +21,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from repro.android.content.provider import ContentValues
 from repro.android.content.user_dictionary import WORDS_URI
+from repro.android.uri import Uri
 from repro.apps.adversarial import exfil_browser, interpreter, launderer, leaky_provider
 from repro.faults import FAULTS, SimulatedCrash, fail_nth, crash_at
 
@@ -30,6 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Op",
     "Spawn",
+    "Invoke",
+    "DropLoot",
     "ReadSecret",
     "ReadExternal",
     "WriteExternal",
@@ -84,6 +87,51 @@ class Spawn(Op):
 
     def render(self) -> str:
         return f"spawn {self.key}"
+
+
+@dataclass(frozen=True)
+class Invoke(Op):
+    """Launch an app through the Activity Manager (AM-routed, unlike
+    :class:`Spawn`'s direct fork): runs the full resolve/fork/endpoint/
+    guard-registry bookkeeping path, which is where the interleaving
+    sweep's preemption windows live."""
+
+    package: str
+
+    def apply(self, world: "FuzzWorld") -> str:
+        from repro.android.app_api import AppApi
+
+        invocation = world.device.launch(self.package)
+        world.apis[self.package] = AppApi(world.device, invocation.process)
+        return f"invoked {self.package}"
+
+    def render(self) -> str:
+        return f"am: invoke {self.package}"
+
+
+@dataclass(frozen=True)
+class DropLoot(Op):
+    """Insert the actor's register at the clip mule's exported drop
+    provider (``content://com.attacker.clipmule.drop/<name>``). Under an
+    intact Maxoid guard a delegate actor is always refused the channel;
+    getting bytes through is itself evidence of a broken guard."""
+
+    actor: str
+    name: str = "drop"
+
+    def apply(self, world: "FuzzWorld") -> str:
+        api = _require(world, self.actor)
+        if api is None:
+            return "skip"
+        payload = world.regs.get(self.actor, b"")
+        api.insert(
+            Uri.content(launderer.DROP_AUTHORITY, self.name),
+            ContentValues({"data": payload}),
+        )
+        return "dropped"
+
+    def render(self) -> str:
+        return f"{self.actor}: drop register at {launderer.DROP_AUTHORITY}/{self.name}"
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,8 @@ from repro.kernel.vfs import (
     ROOT_CRED,
     Stat,
 )
+from repro.sched import SCHED as _SCHED
+from repro.sched.locks import RWLock
 
 WHITEOUT_PREFIX = ".wh."
 OPAQUE_MARKER = ".wh..wh..opq"
@@ -124,6 +126,7 @@ class AufsMount(FilesystemAPI):
         self.copy_up_count = 0
         self.copy_up_bytes = 0
         self.lookup_branches_scanned = 0
+        self.rwlock = RWLock(f"aufs:{label or 'union'}")
         for branch in self.branches:
             if not branch.fs.exists(branch.root, ROOT_CRED):
                 branch.fs.mkdir(branch.root, ROOT_CRED, parents=True)
@@ -264,6 +267,18 @@ class AufsMount(FilesystemAPI):
     def _copy_up_impl(self, union_path, source_index, cred, span) -> None:
         if _FAULTS.enabled:
             _FAULTS.hit("aufs.copy_up", mount=self.label, path=union_path)
+        if _SCHED.enabled:
+            with self.rwlock.write():
+                _SCHED.yield_point(
+                    "aufs.copy_up",
+                    path=union_path,
+                    resource=f"file:{union_path}",
+                    rw="w",
+                )
+                return self._copy_up_body(union_path, source_index, cred, span)
+        return self._copy_up_body(union_path, source_index, cred, span)
+
+    def _copy_up_body(self, union_path, source_index, cred, span) -> None:
         branch = self._require_writable()
         source = self.branches[source_index]
         data = source.fs.read_file(source.path(union_path), ROOT_CRED)
@@ -283,6 +298,8 @@ class AufsMount(FilesystemAPI):
         branch.fs.chown(staging, cred.uid, gid=cred.gid)
         if _FAULTS.enabled:
             _FAULTS.hit("aufs.copy_up.publish", mount=self.label, path=union_path)
+        if _SCHED.enabled:
+            _SCHED.yield_point("aufs.copy_up.publish", path=union_path)
         branch.fs.rename(staging, target, ROOT_CRED)
         if _OBS.prov:
             _OBS.provenance.copy_up(

@@ -16,10 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import IpcDenied, NoSuchProcess, ProviderNotFound
+from repro.errors import DelegateTimeout, IpcDenied, NoSuchProcess, ProviderNotFound
 from repro.faults import FAULTS as _FAULTS
 from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 
 @dataclass
@@ -58,10 +59,20 @@ BinderPolicy = Callable[[TaskContext, BinderEndpoint], bool]
 class BinderDriver:
     """Routes transactions between endpoints, subject to a policy."""
 
+    #: Virtual-clock budget for one delegate transaction attempt, and the
+    #: bounded-retry policy around it (deterministic exponential backoff:
+    #: ``retry_backoff_ms * 2**attempt`` on the scheduler's clock). Only
+    #: delegate senders under the deterministic scheduler pay deadlines —
+    #: plain apps and the single-threaded simulation are untouched.
+    delegate_deadline_ms: float = 400.0
+    delegate_retries: int = 2
+    retry_backoff_ms: float = 16.0
+
     def __init__(self) -> None:
         self._endpoints: Dict[str, BinderEndpoint] = {}
         self._policy: Optional[BinderPolicy] = None
         self._processes: Optional[ProcessTable] = None
+        self._audit_log = None
         self.transaction_log: List[Transaction] = []
         self.denied_log: List[Transaction] = []
 
@@ -73,6 +84,11 @@ class BinderDriver:
         dead recipients fail closed with :class:`NoSuchProcess`.
         """
         self._processes = processes
+
+    def attach_audit_log(self, audit_log) -> None:
+        """Wire the device's AuditLog so DelegateTimeout retries and
+        abandonments surface as ``timeout`` events instead of vanishing."""
+        self._audit_log = audit_log
 
     def register(
         self,
@@ -112,7 +128,59 @@ class BinderDriver:
         span, so work the endpoint handler does (syscalls, provider queries)
         nests under the caller's trace — the propagation that stitches one
         delegate invocation into a single tree.
+
+        Under the deterministic scheduler, delegate senders additionally
+        run each attempt under a virtual-clock deadline with bounded
+        retries and deterministic backoff (see ``delegate_deadline_ms``):
+        a wedged delegate call surfaces :class:`DelegateTimeout` in the
+        AuditLog instead of hanging the schedule.
         """
+        if (
+            _SCHED.enabled
+            and sender.context.is_delegate
+            and _SCHED.current_task() is not None
+        ):
+            return self._transact_with_deadline(sender, target, code, payload)
+        return self._traced_transact(sender, target, code, payload)
+
+    def _transact_with_deadline(
+        self, sender: Process, target: str, code: str, payload: Any
+    ) -> Any:
+        last: Optional[DelegateTimeout] = None
+        for attempt in range(self.delegate_retries + 1):
+            try:
+                with _SCHED.deadline(self.delegate_deadline_ms):
+                    return self._traced_transact(sender, target, code, payload)
+            except DelegateTimeout as error:
+                last = error
+                if self._audit_log is not None:
+                    self._audit_log.record(
+                        "timeout",
+                        str(error),
+                        ctx=str(sender.context),
+                        target=target,
+                        code=code,
+                        attempt=attempt,
+                        vclock=_SCHED.clock,
+                    )
+                if attempt < self.delegate_retries:
+                    _SCHED.sleep(self.retry_backoff_ms * (2 ** attempt))
+        if self._audit_log is not None:
+            self._audit_log.record(
+                "timeout",
+                f"binder: abandoned {target!r} after "
+                f"{self.delegate_retries + 1} attempts",
+                ctx=str(sender.context),
+                target=target,
+                code=code,
+                vclock=_SCHED.clock,
+            )
+        assert last is not None
+        raise last
+
+    def _traced_transact(
+        self, sender: Process, target: str, code: str, payload: Any
+    ) -> Any:
         if _OBS.enabled:
             with _OBS.tracer.span(
                 "binder.transact", ctx=str(sender.context), target=target, code=code
@@ -124,6 +192,14 @@ class BinderDriver:
         if _FAULTS.enabled:
             _FAULTS.hit(
                 "binder.transact", ctx=str(sender.context), target=target, code=code
+            )
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "binder.transact",
+                target=target,
+                code=code,
+                resource=f"endpoint:{target}",
+                rw="r",
             )
         if not sender.alive:
             raise NoSuchProcess(f"binder: sender pid {sender.pid} has exited")
@@ -144,6 +220,10 @@ class BinderDriver:
         self.transaction_log.append(transaction)
         if _OBS.enabled:
             _OBS.metrics.count("binder.transactions")
+        if _SCHED.enabled:
+            # Delivery is a separate boundary from the policy check: the
+            # kernel may preempt between admission and handler dispatch.
+            _SCHED.yield_point("binder.deliver", target=target, code=code)
         if _OBS.prov:
             # Work the endpoint does on the sender's behalf (clipboard,
             # providers) must taint/stamp as the *sender*, not the service.

@@ -20,6 +20,8 @@ from repro.faults import FAULTS as _FAULTS
 from repro.kernel import path as vpath
 from repro.kernel.vfs import Filesystem, FilesystemAPI
 from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
+from repro.sched.locks import RWLock
 
 
 class MountNamespace:
@@ -31,17 +33,37 @@ class MountNamespace:
     def __init__(self, root_fs: Optional[FilesystemAPI] = None) -> None:
         self._mounts: Dict[str, FilesystemAPI] = {}
         self._mounts["/"] = root_fs if root_fs is not None else Filesystem(label="rootfs")
+        # One mount-infrastructure lock shared with every unshare() clone:
+        # the kernel serializes mount-table surgery globally, and sharing
+        # the object keeps the lock-order graph to one "ns" node.
+        self.rwlock = RWLock("ns")
 
     # ------------------------------------------------------------------
 
     def mount(self, point: str, fs: FilesystemAPI) -> None:
         """Mount ``fs`` at ``point``, shadowing any prior mount there."""
+        if _SCHED.enabled:
+            with self.rwlock.write():
+                _SCHED.yield_point(
+                    "mounts.mount", mount_point=point, resource="mount-table", rw="w"
+                )
+                self._mounts[vpath.normalize(point)] = fs
+            return
         self._mounts[vpath.normalize(point)] = fs
 
     def umount(self, point: str) -> None:
         point = vpath.normalize(point)
         if point == "/":
             raise ValueError("cannot unmount the root filesystem")
+        if _SCHED.enabled:
+            with self.rwlock.write():
+                _SCHED.yield_point(
+                    "mounts.umount", mount_point=point, resource="mount-table", rw="w"
+                )
+                if point not in self._mounts:
+                    raise FileNotFound(f"not a mount point: {point}")
+                del self._mounts[point]
+            return
         if point not in self._mounts:
             raise FileNotFound(f"not a mount point: {point}")
         del self._mounts[point]
@@ -54,6 +76,7 @@ class MountNamespace:
         """
         clone = MountNamespace.__new__(MountNamespace)
         clone._mounts = dict(self._mounts)
+        clone.rwlock = self.rwlock
         return clone
 
     # ------------------------------------------------------------------
@@ -67,6 +90,12 @@ class MountNamespace:
             _FAULTS.hit("mounts.resolve", path=path)
         if _OBS.enabled:
             _OBS.metrics.count("mounts.resolve")
+        if _SCHED.enabled:
+            with self.rwlock.read():
+                return self._resolve_impl(path)
+        return self._resolve_impl(path)
+
+    def _resolve_impl(self, path: str) -> Tuple[FilesystemAPI, str]:
         path = vpath.normalize(path)
         best = "/"
         for point in self._mounts:

@@ -12,7 +12,8 @@ reads naturally.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, List, Optional
 
 from repro.errors import CrossDeviceLink, NoSuchProcess
 from repro.faults import FAULTS as _FAULTS
@@ -20,6 +21,7 @@ from repro.kernel import path as vpath
 from repro.kernel.proc import Process
 from repro.kernel.vfs import FileHandle, Stat
 from repro.obs import DEFAULT_BYTE_BUCKETS, OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 O_RDONLY = 0x0
 O_WRONLY = 0x1
@@ -52,8 +54,41 @@ class Syscalls:
                 return self._open_impl(path, flags, mode)
         return self._open_impl(path, flags, mode)
 
+    @contextmanager
+    def _io_locks(self, path: str, write: bool) -> Iterator[None]:
+        """Scheduler-mode lock discipline for whole-file I/O: the mount
+        namespace's read lock around resolution, then the resolved
+        filesystem's rwlock in the I/O mode — the canonical ns -> fs
+        acquisition order the lock-order checker validates."""
+        namespace = self.process.namespace
+        ns_lock = getattr(namespace, "rwlock", None)
+        with ns_lock.read() if ns_lock is not None else nullcontext():
+            fs, _inner = namespace.resolve(path)
+            fs_lock = getattr(fs, "rwlock", None)
+            if fs_lock is None:
+                yield
+            else:
+                with fs_lock.write() if write else fs_lock.read():
+                    yield
+
     def _open_impl(self, path: str, flags: int, mode: int) -> FileHandle:
         self._check_alive()
+        if _SCHED.enabled:
+            accmode = flags & 0o3
+            is_write = bool(accmode or flags & (O_CREAT | O_TRUNC | O_APPEND))
+            # Yield *inside* the lock scope so the access annotation
+            # reflects the locks actually protecting the operation.
+            with self._io_locks(path, write=is_write):
+                _SCHED.yield_point(
+                    "vfs.open",
+                    path=path,
+                    resource=f"file:{path}",
+                    rw="w" if is_write else "r",
+                )
+                return self._open_locked(path, flags, mode)
+        return self._open_locked(path, flags, mode)
+
+    def _open_locked(self, path: str, flags: int, mode: int) -> FileHandle:
         fs, inner = self.process.namespace.resolve(path)
         accmode = flags & 0o3
         read = accmode in (O_RDONLY, O_RDWR)
@@ -137,6 +172,15 @@ class Syscalls:
         return self._read_file_impl(path)
 
     def _read_file_impl(self, path: str) -> bytes:
+        if _SCHED.enabled:
+            with self._io_locks(path, write=False):
+                _SCHED.yield_point(
+                    "vfs.read", path=path, resource=f"file:{path}", rw="r"
+                )
+                return self._read_file_body(path)
+        return self._read_file_body(path)
+
+    def _read_file_body(self, path: str) -> bytes:
         with self.open(path, O_RDONLY) as handle:
             data = handle.read()
             if _OBS.prov:
@@ -158,6 +202,15 @@ class Syscalls:
         return self._write_file_impl(path, data, mode)
 
     def _write_file_impl(self, path: str, data: bytes, mode: int = 0o644) -> None:
+        if _SCHED.enabled:
+            with self._io_locks(path, write=True):
+                _SCHED.yield_point(
+                    "vfs.write", path=path, resource=f"file:{path}", rw="w"
+                )
+                return self._write_file_body(path, data, mode)
+        return self._write_file_body(path, data, mode)
+
+    def _write_file_body(self, path: str, data: bytes, mode: int = 0o644) -> None:
         with self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode=mode) as handle:
             handle.write(data)
             if _OBS.prov:
@@ -179,6 +232,15 @@ class Syscalls:
         return self._append_file_impl(path, data)
 
     def _append_file_impl(self, path: str, data: bytes) -> None:
+        if _SCHED.enabled:
+            with self._io_locks(path, write=True):
+                _SCHED.yield_point(
+                    "vfs.write", path=path, resource=f"file:{path}", rw="w"
+                )
+                return self._append_file_body(path, data)
+        return self._append_file_body(path, data)
+
+    def _append_file_body(self, path: str, data: bytes) -> None:
         with self.open(path, O_WRONLY | O_APPEND) as handle:
             handle.write(data)
             if _OBS.prov:

@@ -33,6 +33,7 @@ from repro.errors import (
     ReadOnlyFilesystem,
 )
 from repro.kernel import path as vpath
+from repro.sched.locks import RWLock
 
 # A single logical clock shared by every filesystem in the process keeps
 # version numbers comparable across filesystems (e.g. a file copied-up by
@@ -336,6 +337,9 @@ class Filesystem(FilesystemAPI):
         self.root = Inode(InodeKind.DIR, mode=0o755, uid=0)
         self.read_only = read_only
         self.label = label
+        # Cooperative reader-writer lock for the deterministic scheduler;
+        # a no-op whenever the reactor is off (see repro.sched.locks).
+        self.rwlock = RWLock(f"fs:{label or 'anon'}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Filesystem {self.label or hex(id(self))}>"

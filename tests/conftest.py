@@ -9,6 +9,7 @@ import pytest
 from repro import Device
 from repro.apps import install_standard_apps
 from repro.faults import FAULTS
+from repro.sched import SCHED
 
 try:
     from hypothesis import HealthCheck, Phase, settings
@@ -50,6 +51,15 @@ def _fault_plane_left_clean():
     yield
     if FAULTS.enabled or FAULTS.schedule:
         FAULTS.reset()
+
+
+@pytest.fixture(autouse=True)
+def _scheduler_left_clean():
+    """The deterministic scheduler is a process-wide singleton; a test
+    that leaks an enabled reactor would turn every later kernel call
+    into a cooperative yield on a dead scheduler."""
+    yield
+    assert not SCHED.enabled, "a test left the deterministic scheduler enabled"
 
 
 @pytest.fixture

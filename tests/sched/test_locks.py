@@ -1,0 +1,173 @@
+"""RWLock semantics, the lock-order checker, and race candidates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DelegateTimeout
+from repro.sched import SCHED, DeadlockError, RWLock
+
+pytestmark = pytest.mark.sched
+
+
+class TestOutsideScheduler:
+    def test_locks_are_noops_off_plane(self):
+        lock = RWLock("free")
+        with lock.write():
+            with lock.read():
+                pass
+        assert lock.holders() == []
+
+
+class TestExclusion:
+    def test_writer_excludes_foreign_reader(self):
+        lock = RWLock("L")
+        events = []
+
+        def writer() -> None:
+            with lock.write():
+                events.append("w-acq")
+                SCHED.yield_point("hold")
+                events.append("w-still-held")
+            events.append("w-released")
+
+        def reader() -> None:
+            with lock.read():
+                events.append("r-acq")
+
+        # Force: writer takes the lock, reader attempts mid-hold.
+        SCHED.run(
+            [("t1w", writer), ("t2r", reader)],
+            replay=["t1w", "t2r", "t1w", "t1w", "t2r", "t2r"],
+        )
+        assert events.index("r-acq") > events.index("w-released")
+
+    def test_readers_share_writer_waits(self):
+        lock = RWLock("L")
+        events = []
+
+        def reader(name: str):
+            def fn() -> None:
+                with lock.read():
+                    events.append(f"{name}-acq")
+                    SCHED.yield_point("hold")
+                events.append(f"{name}-rel")
+
+            return fn
+
+        def writer() -> None:
+            with lock.write():
+                events.append("w-acq")
+
+        SCHED.run(
+            [("r1", reader("r1")), ("r2", reader("r2")), ("w3", writer)],
+            replay=["r1", "r2", "w3", "r1", "r2", "w3", "r1", "r2", "w3"],
+        )
+        # Both readers overlapped; the writer only got in after both left.
+        assert events.index("r2-acq") < events.index("r1-rel")
+        assert events.index("w-acq") > events.index("r1-rel")
+        assert events.index("w-acq") > events.index("r2-rel")
+
+    def test_reentrant_and_sole_reader_upgrade(self):
+        lock = RWLock("L")
+
+        def task() -> str:
+            with lock.write():
+                with lock.write():  # write reentrancy
+                    with lock.read():  # read under own write
+                        pass
+            with lock.read():
+                with lock.write():  # sole-reader upgrade
+                    pass
+            return "ok"
+
+        run = SCHED.run({"t": task}, seed=0)
+        assert run.results["t"] == "ok"
+        assert lock.holders() == []
+
+
+class TestDeadlocks:
+    def _abba(self):
+        a, b = RWLock("A"), RWLock("B")
+
+        def t1() -> None:
+            with a.write():
+                SCHED.yield_point("t1-holds-A")
+                with b.write():
+                    pass
+
+        def t2() -> None:
+            with b.write():
+                SCHED.yield_point("t2-holds-B")
+                with a.write():
+                    pass
+
+        return t1, t2
+
+    def test_abba_wedge_raises_deadlock_error(self):
+        t1, t2 = self._abba()
+        with pytest.raises(DeadlockError) as err:
+            SCHED.run([("t1", t1), ("t2", t2)], replay=["t1", "t2", "t1", "t2"])
+        assert "deadlock" in str(err.value)
+        assert not SCHED.enabled
+        # The wedge's order graph names the cycle.
+        assert ("A", "B") in SCHED.lock_order.potential_deadlocks()
+
+    def test_cycle_flagged_even_when_schedule_does_not_wedge(self):
+        t1, t2 = self._abba()
+        # t1 runs to completion before t2 starts: no wedge, but the
+        # opposite-order acquisitions still close a lock-order cycle.
+        run = SCHED.run([("t1", t1), ("t2", t2)], replay=["t1"] * 8 + ["t2"] * 8)
+        assert run.errors == {}
+        assert run.lock_order.potential_deadlocks() == [("A", "B")]
+        assert "POTENTIAL DEADLOCK" in run.lock_order.report()
+
+
+class TestRaceCandidates:
+    def test_unlocked_shared_write_is_flagged(self):
+        def writer() -> None:
+            SCHED.yield_point("touch", resource="shared-thing", rw="w")
+
+        def reader() -> None:
+            SCHED.yield_point("touch", resource="shared-thing", rw="r")
+
+        run = SCHED.run({"tw": writer, "tr": reader}, seed=0)
+        assert ("shared-thing", "tr", "tw") in run.race_candidates
+
+    def test_common_lock_suppresses_the_flag(self):
+        guard = RWLock("guard")
+
+        def writer() -> None:
+            with guard.write():
+                SCHED.yield_point("touch", resource="shared-thing", rw="w")
+
+        def reader() -> None:
+            with guard.read():
+                SCHED.yield_point("touch", resource="shared-thing", rw="r")
+
+        run = SCHED.run({"tw": writer, "tr": reader}, seed=0)
+        assert run.race_candidates == []
+
+
+class TestDeadlines:
+    def test_blocked_acquire_times_out_on_virtual_deadline(self):
+        lock = RWLock("L")
+
+        def holder() -> None:
+            with lock.write():
+                SCHED.sleep(10_000.0)
+
+        def waiter() -> str:
+            try:
+                with SCHED.deadline(50.0):
+                    with lock.read():
+                        return "acquired"
+            except DelegateTimeout:
+                return "timed-out"
+
+        run = SCHED.run(
+            [("holder", holder), ("waiter", waiter)], replay=["holder", "waiter"]
+        )
+        assert run.results["waiter"] == "timed-out"
+        assert run.results["holder"] is None  # ran to completion
+        assert lock.holders() == []

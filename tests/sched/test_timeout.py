@@ -1,0 +1,101 @@
+"""Binder delegate deadlines: bounded retry, backoff, AuditLog surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import install_full_corpus
+from repro.apps.adversarial import interpreter
+from repro.apps.email_app import PACKAGE as VICTIM_PACKAGE
+from repro.core.device import Device
+from repro.errors import DelegateTimeout
+from repro.sched import SCHED
+
+pytestmark = pytest.mark.sched
+
+
+def _device_with_slow_service():
+    """A Maxoid device plus a registered system service whose handler
+    sleeps far past the delegate deadline on the virtual clock."""
+    device = Device(maxoid_enabled=True)
+    install_full_corpus(device)
+
+    def slow_handler(transaction):
+        SCHED.sleep(10_000.0)
+        return "eventually"
+
+    device.binder.register("service:molasses", slow_handler, is_system=True)
+    return device
+
+
+def _timeout_events(device):
+    return [
+        (e.details.get("attempt"), e.details.get("vclock"), e.message)
+        for e in device.audit_log.events("timeout")
+    ]
+
+
+class TestDelegateDeadline:
+    def test_delegate_call_times_out_with_bounded_retries(self):
+        device = _device_with_slow_service()
+        delegate = device.spawn(interpreter.PACKAGE, initiator=VICTIM_PACKAGE)
+
+        def call() -> str:
+            try:
+                return device.binder.transact(
+                    delegate.process, "service:molasses", "nap"
+                )
+            except DelegateTimeout:
+                return "gave-up"
+
+        run = SCHED.run({"caller": call}, seed=0)
+        assert run.results["caller"] == "gave-up"
+        events = _timeout_events(device)
+        # One record per attempt plus the final abandonment.
+        assert len(events) == device.binder.delegate_retries + 2
+        attempts = [attempt for attempt, _v, _m in events[:-1]]
+        assert attempts == list(range(device.binder.delegate_retries + 1))
+        assert "abandoned" in events[-1][2]
+        # Virtual-clock stamps strictly increase across retries (the
+        # abandonment record shares the final attempt's stamp).
+        vclocks = [vclock for _a, vclock, _m in events]
+        assert vclocks == sorted(vclocks)
+        assert len(set(vclocks[:-1])) == len(vclocks) - 1
+
+    def test_timeout_schedule_is_deterministic(self):
+        stamps = []
+        for _ in range(2):
+            device = _device_with_slow_service()
+            delegate = device.spawn(interpreter.PACKAGE, initiator=VICTIM_PACKAGE)
+
+            def call() -> None:
+                with pytest.raises(DelegateTimeout):
+                    device.binder.transact(
+                        delegate.process, "service:molasses", "nap"
+                    )
+
+            SCHED.run({"caller": call}, seed=0)
+            stamps.append(_timeout_events(device))
+        assert stamps[0] == stamps[1]
+
+    def test_plain_sender_pays_no_deadline(self):
+        device = _device_with_slow_service()
+        plain = device.spawn(interpreter.PACKAGE)
+
+        def call() -> str:
+            return device.binder.transact(plain.process, "service:molasses", "nap")
+
+        run = SCHED.run({"caller": call}, seed=0)
+        # The handler's sleep still happens (virtual clock jumps), but no
+        # deadline interrupts a non-delegate sender.
+        assert run.results["caller"] == "eventually"
+        assert device.audit_log.events("timeout") == []
+
+    def test_sequential_path_untouched(self):
+        device = _device_with_slow_service()
+        delegate = device.spawn(interpreter.PACKAGE, initiator=VICTIM_PACKAGE)
+        # Off-scheduler, SCHED.sleep is a no-op and no deadline machinery
+        # engages: the call just completes.
+        reply = device.binder.transact(delegate.process, "service:molasses", "nap")
+        assert reply == "eventually"
+        assert device.audit_log.events("timeout") == []
