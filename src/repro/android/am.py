@@ -49,7 +49,10 @@ class ActivityManagerService:
         binder: BinderDriver,
         ipc_guard: Optional[object] = None,  # repro.core.ipc_guard.IpcGuard
         maxoid_manifests: Optional[Dict[str, object]] = None,
+        obs: Optional[Any] = None,
     ) -> None:
+        # The owning device's observability context.
+        self.obs = obs if obs is not None else _OBS
         self._packages = package_manager
         self._zygote = zygote
         self._processes = process_table
@@ -131,8 +134,8 @@ class ActivityManagerService:
         (section 6.3): the user starts a delegate without the initiator's
         explicit invocation.
         """
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "am.start_activity",
                 caller=str(caller.context),
                 action=intent.action,
@@ -143,9 +146,9 @@ class ActivityManagerService:
                 span.set(
                     target=invocation.target, ctx=str(invocation.process.context)
                 )
-                _OBS.metrics.count("am.invocations")
+                self.obs.metrics.count("am.invocations")
                 if invocation.process.context.is_delegate:
-                    _OBS.metrics.count("am.delegate_invocations")
+                    self.obs.metrics.count("am.delegate_invocations")
                 return invocation
         return self._start_activity_impl(caller, intent, forced_initiator=forced_initiator)
 
@@ -167,17 +170,17 @@ class ActivityManagerService:
             initiator = None  # an app invoked by itself runs normally
         self._kill_conflicting(target, initiator)
         process = self._zygote.fork_app(target, initiator)
-        if _OBS.enabled:
+        if self.obs.enabled:
             # Tag the open am.start_activity span with the invoked context
             # *before* the handler runs, so streaming consumers (the
             # security monitor reads ctx off open ancestors at span close)
             # see the same attribution the finished-tree walk does.
-            current = _OBS.tracer.current
+            current = self.obs.tracer.current
             if current is not None and current.name == "am.start_activity":
                 current.set(target=target, ctx=str(process.context))
-        if _OBS.prov:
+        if self.obs.prov:
             # Intent extras flow the caller's taint into the new process.
-            _OBS.provenance.intent_flow(
+            self.obs.provenance.intent_flow(
                 caller.pid, process.pid, str(caller.context), str(process.context)
             )
         self._in_flight.add(process.pid)
@@ -245,13 +248,13 @@ class ActivityManagerService:
     def send_broadcast(self, sender: Process, intent: Intent) -> int:
         """Deliver a broadcast; a delegate's broadcasts stay inside its
         confinement domain (section 3.4). Returns receivers reached."""
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "am.broadcast", ctx=str(sender.context), action=intent.action
             ) as span:
                 delivered = self._send_broadcast_impl(sender, intent)
                 span.set(delivered=delivered)
-                _OBS.metrics.count("am.broadcasts")
+                self.obs.metrics.count("am.broadcasts")
                 return delivered
         return self._send_broadcast_impl(sender, intent)
 

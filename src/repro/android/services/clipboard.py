@@ -14,7 +14,7 @@ clipboard — the stock Android behaviour the Table 1 audit exploits.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.kernel.proc import Process
 from repro.obs import OBS as _OBS
@@ -25,9 +25,11 @@ class ClipboardService:
 
     _MAIN = "<main>"
 
-    def __init__(self, maxoid_enabled: bool = True) -> None:
+    def __init__(self, maxoid_enabled: bool = True, obs: Optional[Any] = None) -> None:
         self._maxoid = maxoid_enabled
         self._clips: Dict[str, Optional[str]] = {self._MAIN: None}
+        # The owning device's observability context.
+        self.obs = obs if obs is not None else _OBS
 
     def _domain(self, process: Process) -> str:
         if not self._maxoid:
@@ -40,8 +42,8 @@ class ClipboardService:
     def set_text(self, process: Process, text: str) -> None:
         domain = self._domain(process)
         self._clips[domain] = text
-        if _OBS.prov:
-            _OBS.provenance.clip_set(process.pid, str(process.context), domain)
+        if self.obs.prov:
+            self.obs.provenance.clip_set(process.pid, str(process.context), domain)
 
     def get_text(self, process: Process) -> Optional[str]:
         domain = self._domain(process)
@@ -49,8 +51,8 @@ class ClipboardService:
             # A delegate's first paste sees the pre-confinement clipboard
             # content (initial state availability, U1): fork from main.
             self._clips[domain] = self._clips[self._MAIN]
-        if _OBS.prov:
-            _OBS.provenance.clip_get(process.pid, str(process.context), domain)
+        if self.obs.prov:
+            self.obs.provenance.clip_get(process.pid, str(process.context), domain)
         return self._clips[domain]
 
     def clear_domain(self, initiator: str) -> None:

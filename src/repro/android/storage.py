@@ -128,7 +128,9 @@ class PrivateDatabase:
     def __init__(self, sys: Syscalls, path: str) -> None:
         self._sys = sys
         self._path = path
-        self._db = Database()
+        # The engine reports sql.* spans into the owning device's context
+        # (resolved through the process behind the syscall layer).
+        self._db = Database(obs=sys.obs)
         self._ddl: List[str] = []
         self._load()
 
@@ -143,7 +145,7 @@ class PrivateDatabase:
             return
         snapshot = json.loads(raw.decode("utf-8"))
         self._ddl = list(snapshot.get("ddl", []))
-        self._db = Database()
+        self._db = Database(obs=self._sys.obs)
         for statement in self._ddl:
             self._db.execute(statement)
         for table_name, payload in snapshot.get("tables", {}).items():

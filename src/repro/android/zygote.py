@@ -13,7 +13,7 @@ The branch-manager step is a hook: the stock hook mounts nothing special
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.kernel.mounts import MountNamespace
 from repro.kernel.proc import Process, ProcessTable, TaskContext
@@ -37,11 +37,15 @@ class Zygote:
         package_manager: PackageManager,
         namespace_builder: NamespaceBuilder,
         maxoid_enabled: bool = True,
+        obs: Optional[Any] = None,
     ) -> None:
         self._processes = process_table
         self._sysfs = sysfs
         self._packages = package_manager
         self._build_namespace = namespace_builder
+        # The owning device's observability context; forked processes
+        # inherit it, which is how per-device attribution propagates.
+        self.obs = obs if obs is not None else _OBS
         # On stock Android delegation does not exist: any requested
         # initiator is ignored and the app simply runs as itself.
         self._maxoid_enabled = maxoid_enabled
@@ -53,7 +57,7 @@ class Zygote:
         Mirrors the real sequence: fork (still root), unshare + mount via
         the branch manager, stamp sysfs, drop privilege to the app UID.
         """
-        if _OBS.enabled:
+        if self.obs.enabled:
             # Self-tag the resulting context (same rules the impl applies)
             # so the fork is attributed identically whether the sweep reads
             # it from the finished tree or the monitor from the live stack.
@@ -63,10 +67,10 @@ class Zygote:
                 else None
             )
             ctx = f"{package}^{effective}" if effective else package
-            with _OBS.tracer.span(
+            with self.obs.tracer.span(
                 "zygote.fork", app=package, initiator=initiator, ctx=ctx
             ):
-                _OBS.metrics.count("zygote.forks")
+                self.obs.metrics.count("zygote.forks")
                 return self._fork_app_impl(package, initiator)
         return self._fork_app_impl(package, initiator)
 
@@ -89,10 +93,11 @@ class Zygote:
             namespace=namespace,
             context=context,
             name=str(context),
+            obs=self.obs,
         )
         self._processes.register(process)
         self._sysfs.write_context(process.pid, package, effective_initiator, ROOT_CRED)
-        if _OBS.prov:
-            _OBS.provenance.fork(process.pid, str(context))
+        if self.obs.prov:
+            self.obs.provenance.fork(process.pid, str(context))
         self.forks += 1
         return process

@@ -25,7 +25,6 @@ from repro.android.uri import Uri
 from repro.apps.base import AppBuild, SimApp
 from repro.kernel.proc import TaskContext
 from repro.minisql.engine import ResultSet
-from repro.obs import OBS as _OBS
 
 PACKAGE = "com.attacker.clipmule"
 
@@ -62,13 +61,14 @@ class ClipDropProvider(ContentProvider):
         data = values.get("data", b"")
         if isinstance(data, str):
             data = data.encode("latin-1")
-        if _OBS.prov:
+        obs = api.process.obs
+        if obs.prov:
             # The payload hand-off moves the *caller's* taint into the
             # serving process (the binder layer pushed the caller as
             # actor), so the republish below stamps what actually flowed.
-            _, caller_pid = _OBS.provenance.current_actor()
+            _, caller_pid = obs.provenance.current_actor()
             if caller_pid is not None:
-                _OBS.provenance.transfer(
+                obs.provenance.transfer(
                     caller_pid, api.process.pid, "provider.insert", str(uri)
                 )
         path = api.write_external(f"{LOOT_DIR}/{name}.bin", data)

@@ -28,7 +28,6 @@ from repro.apps.base import AppBuild, SimApp
 from repro.kernel import path as vpath
 from repro.kernel.proc import TaskContext
 from repro.minisql.engine import ResultSet
-from repro.obs import OBS as _OBS
 
 PACKAGE = "com.attacker.leakyprovider"
 AUTHORITY = "com.attacker.leakyprovider.files"
@@ -58,12 +57,13 @@ class LeakyFilesProvider(ContentProvider):
         api = self._app.require_api()
         name = "/".join(uri.segments)  # no sanitization: path traversal
         data = api.read_internal(f"{INBOX_DIR}/{name}")
-        if _OBS.prov:
+        obs = api.process.obs
+        if obs.prov:
             # The descriptor hand-off moves the served process's taint to
             # the caller (the binder layer pushed the caller as actor).
-            _, caller_pid = _OBS.provenance.current_actor()
+            _, caller_pid = obs.provenance.current_actor()
             if caller_pid is not None:
-                _OBS.provenance.transfer(
+                obs.provenance.transfer(
                     api.process.pid, caller_pid, "provider.open_file", str(uri)
                 )
         return data

@@ -256,10 +256,13 @@ class AuditEvent:
     category: str  # "fault", "recovery", or "violation"
     message: str
     details: Dict[str, Any] = field(default_factory=dict)
+    # Which device's log this event came from. ``seq`` is monotonic *per
+    # device*, so ``(seq, device_id)`` totally orders a merged fleet feed.
+    device_id: str = "device0"
 
     def render(self) -> str:
         detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
-        return f"[{self.seq:04d}] {self.category}: {self.message}" + (
+        return f"[{self.device_id}:{self.seq:04d}] {self.category}: {self.message}" + (
             f" ({detail})" if detail else ""
         )
 
@@ -271,6 +274,7 @@ class AuditEvent:
             "category": self.category,
             "message": self.message,
             "details": copy.deepcopy(self.details),
+            "device_id": self.device_id,
         }
 
     @classmethod
@@ -280,6 +284,7 @@ class AuditEvent:
             category=str(data["category"]),
             message=str(data["message"]),
             details=copy.deepcopy(data.get("details", {})),
+            device_id=str(data.get("device_id", "device0")),
         )
 
 
@@ -292,7 +297,8 @@ class AuditLog:
     orphans reaped, namespaces rebuilt, sweep verdicts.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, device_id: str = "device0") -> None:
+        self.device_id = device_id
         self._events: List[AuditEvent] = []
         self._seq = 0
         # Fault-plane sequence numbers already ingested, so repeated
@@ -302,7 +308,11 @@ class AuditLog:
     def record(self, category: str, message: str, **details: Any) -> AuditEvent:
         self._seq += 1
         event = AuditEvent(
-            seq=self._seq, category=category, message=message, details=details
+            seq=self._seq,
+            category=category,
+            message=message,
+            details=details,
+            device_id=self.device_id,
         )
         self._events.append(event)
         return event

@@ -35,8 +35,11 @@ from repro.kernel.vfs import Filesystem, ROOT_CRED
 class BranchManager:
     """Owns branch backing stores and builds app mount namespaces."""
 
-    def __init__(self, system_fs: Filesystem) -> None:
+    def __init__(self, system_fs: Filesystem, obs: Optional[object] = None) -> None:
         self.system_fs = system_fs
+        # Mounts built by this manager report into the owning device's
+        # observability context (None keeps the process-global default).
+        self.obs = obs
         self.pub_fs = Filesystem(label="ext-public")
         # External storage is world-accessible in Android (FAT semantics);
         # the fuse layer makes everything rwx for every app.
@@ -119,6 +122,7 @@ class BranchManager:
                 [self._branch(spec) for spec in plan.branches],
                 always_allow_read=plan.always_allow_read,
                 label=plan.mountpoint,
+                obs=self.obs,
             )
             namespace.mount(plan.mountpoint, mount)
             self.mounts_built += 1

@@ -112,13 +112,23 @@ class CowStats:
 class CowProxy:
     """Copy-on-write proxy over one provider database."""
 
-    def __init__(self, db: Optional[Database] = None) -> None:
-        self.db = db if db is not None else Database()
+    def __init__(
+        self, db: Optional[Database] = None, obs: Optional[object] = None
+    ) -> None:
+        # The owning device's observability context; bind_obs() re-homes a
+        # proxy constructed before its device existed (system providers).
+        self.obs = obs if obs is not None else _OBS
+        self.db = db if db is not None else Database(obs=self.obs)
         self._tables: Dict[str, _PrimaryTable] = {}
         self._user_views: Dict[str, _UserView] = {}
         # (object name, initiator key) pairs that already have COW machinery.
         self._materialized: Set[Tuple[str, str]] = set()
         self.stats = CowStats()
+
+    def bind_obs(self, obs: object) -> None:
+        """Attach this proxy (and its database) to a device's context."""
+        self.obs = obs
+        self.db.obs = obs
 
     # ------------------------------------------------------------------
     # Schema registration (called by the content provider at creation)
@@ -255,10 +265,10 @@ class CowProxy:
         self._materialized.add(key)
         self.stats.delta_tables_created += 1
         self.stats.cow_views_created += 1
-        if _OBS.enabled:
-            _OBS.metrics.count("cow.delta_tables_created")
-            _OBS.metrics.count("cow.views_created")
-            _OBS.tracer.event("cow.materialize", table=table, initiator=initiator)
+        if self.obs.enabled:
+            self.obs.metrics.count("cow.delta_tables_created")
+            self.obs.metrics.count("cow.views_created")
+            self.obs.tracer.event("cow.materialize", table=table, initiator=initiator)
         return cow_view
 
     def _ensure_view_cow(self, view: str, initiator: str) -> str:
@@ -378,22 +388,22 @@ class CowProxy:
         ``where`` is a SQL expression with ``?`` placeholders; ``order_by``
         is e.g. ``"title DESC, _id"``.
         """
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "cow.query", table=name, initiator=initiator
             ) as span:
                 target = self.resolve(name, initiator, for_write=False)
                 span.set(target=target)
-                _OBS.metrics.count("cow.query")
+                self.obs.metrics.count("cow.query")
                 result = self._query_impl(
                     name, target, projection, where, params, order_by, limit
                 )
-                if _OBS.prov:
+                if self.obs.prov:
                     self._prov_table_read(name, initiator)
                 return result
         target = self.resolve(name, initiator, for_write=False)
         result = self._query_impl(name, target, projection, where, params, order_by, limit)
-        if _OBS.prov:
+        if self.obs.prov:
             self._prov_table_read(name, initiator)
         return result
 
@@ -405,7 +415,7 @@ class CowProxy:
         tables = [name.lower()]
         if initiator is not None:
             tables.append(self.delta_name(name, initiator))
-        _OBS.provenance.table_read(tables)
+        self.obs.provenance.table_read(tables)
 
     def _query_impl(
         self,
@@ -467,9 +477,9 @@ class CowProxy:
     ) -> int:
         """Insert a row; delegates' inserts land in the delta table and
         return the volatile primary key."""
-        if _OBS.enabled:
-            with _OBS.tracer.span("cow.insert", table=name, initiator=initiator):
-                _OBS.metrics.count("cow.insert")
+        if self.obs.enabled:
+            with self.obs.tracer.span("cow.insert", table=name, initiator=initiator):
+                self.obs.metrics.count("cow.insert")
                 return self._insert_impl(name, initiator, values)
         return self._insert_impl(name, initiator, values)
 
@@ -486,14 +496,14 @@ class CowProxy:
             delta = self.delta_name(name, initiator)
             pk = self._tables[name.lower()].pk
             row_id = int(self.db.execute(f"SELECT MAX({pk}) FROM {delta}").scalar() or 0)
-            if _OBS.prov:
-                _OBS.provenance.row_write(
+            if self.obs.prov:
+                self.obs.provenance.row_write(
                     delta, row_id, op="cow.insert", initiator=initiator
                 )
             return row_id
         row_id = int(result.lastrowid or 0)
-        if _OBS.prov:
-            _OBS.provenance.row_write(name.lower(), row_id, op="cow.insert")
+        if self.obs.prov:
+            self.obs.provenance.row_write(name.lower(), row_id, op="cow.insert")
         return row_id
 
     def update(
@@ -506,9 +516,9 @@ class CowProxy:
     ) -> int:
         """Update matching rows; a delegate's updates copy-on-write into
         its initiator's delta table. Returns rows affected."""
-        if _OBS.enabled:
-            with _OBS.tracer.span("cow.update", table=name, initiator=initiator):
-                _OBS.metrics.count("cow.update")
+        if self.obs.enabled:
+            with self.obs.tracer.span("cow.update", table=name, initiator=initiator):
+                self.obs.metrics.count("cow.update")
                 return self._update_impl(name, initiator, values, where, params)
         return self._update_impl(name, initiator, values, where, params)
 
@@ -539,9 +549,9 @@ class CowProxy:
     ) -> int:
         """Delete matching rows; a delegate's deletes become whiteout
         records in the delta table. Returns rows affected."""
-        if _OBS.enabled:
-            with _OBS.tracer.span("cow.delete", table=name, initiator=initiator):
-                _OBS.metrics.count("cow.delete")
+        if self.obs.enabled:
+            with self.obs.tracer.span("cow.delete", table=name, initiator=initiator):
+                self.obs.metrics.count("cow.delete")
                 return self._delete_impl(name, initiator, where, params)
         return self._delete_impl(name, initiator, where, params)
 
@@ -576,8 +586,8 @@ class CowProxy:
         result = self.db.execute(sql, list(values.values()) + [0])
         self.stats.volatile_inserts += 1
         row_id = int(result.lastrowid or 0)
-        if _OBS.prov:
-            _OBS.provenance.row_write(
+        if self.obs.prov:
+            self.obs.provenance.row_write(
                 delta, row_id, op="cow.insert_volatile", initiator=initiator
             )
         return row_id
@@ -599,14 +609,14 @@ class CowProxy:
     def commit_volatile(self, name: str, initiator: str, row_id: int) -> bool:
         """Copy one volatile record into the primary table (the initiator's
         selective commit, section 3.3). Returns False if no such record."""
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "cow.commit", table=name, initiator=initiator, row_id=row_id
             ) as span:
                 committed = self._commit_volatile_impl(name, initiator, row_id)
                 span.set(committed=committed)
                 if committed:
-                    _OBS.metrics.count("cow.commits")
+                    self.obs.metrics.count("cow.commits")
                 return committed
         return self._commit_volatile_impl(name, initiator, row_id)
 
@@ -661,8 +671,8 @@ class CowProxy:
             [entry["jid"] for entry in entries],
         )
         self._apply_commit_entries(entries)
-        if _OBS.enabled:
-            _OBS.metrics.count("cow.commits", len(entries))
+        if self.obs.enabled:
+            self.obs.metrics.count("cow.commits", len(entries))
         return len(entries)
 
     # -- journal plumbing ------------------------------------------------
@@ -758,10 +768,10 @@ class CowProxy:
                     rw="w",
                 )
             self._apply_record(entry["tbl"], entry["record"])
-            if _OBS.prov and "delta" in entry:
+            if self.obs.prov and "delta" in entry:
                 # `recover()` replays from the journal payload alone (no
                 # delta keys), so only fresh commits carry lineage.
-                _OBS.provenance.row_commit(
+                self.obs.provenance.row_commit(
                     entry["tbl"],
                     entry["record"][entry["pk"]],
                     entry["delta"],
@@ -800,13 +810,13 @@ class CowProxy:
     def discard_volatile(self, name: str, initiator: str) -> int:
         """Drop all of ``initiator``'s volatile records for ``name``
         (the clean-up after commit, section 3.3). Returns rows discarded."""
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "cow.discard", table=name, initiator=initiator
             ) as span:
                 count = self._discard_volatile_impl(name, initiator)
                 span.set(rows=count)
-                _OBS.metrics.count("cow.discarded_rows", count)
+                self.obs.metrics.count("cow.discarded_rows", count)
                 return count
         return self._discard_volatile_impl(name, initiator)
 

@@ -51,7 +51,7 @@ from repro.kernel.proc import Process, ProcessTable, TaskContext
 from repro.kernel.syscall import Syscalls
 from repro.kernel.sysfs import Sysfs
 from repro.kernel.vfs import Credentials, Filesystem, ROOT_CRED
-from repro.obs import OBS
+from repro.obs import OBS, ObsContext
 from repro.obs.monitor import SecurityMonitor
 
 
@@ -78,23 +78,42 @@ class RecoveryReport:
 class Device:
     """A booted simulated Android device."""
 
-    def __init__(self, maxoid_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        maxoid_enabled: bool = True,
+        *,
+        device_id: Optional[str] = None,
+        obs: Optional[ObsContext] = None,
+    ) -> None:
         self.maxoid_enabled = maxoid_enabled
+        # -- observability ----------------------------------------------------
+        # Every instrumented layer below resolves its gating flags through
+        # this handle. The default is the process-global OBS context, so a
+        # bare Device() behaves exactly as before; naming the device (or
+        # passing a context) gives it an isolated ObsContext — the fleet
+        # sharding model.
+        if obs is not None:
+            self.obs = obs
+        elif device_id is not None:
+            self.obs = ObsContext(device_id=device_id)
+        else:
+            self.obs = OBS
+        self.device_id = device_id if device_id is not None else self.obs.device_id
         # -- kernel ---------------------------------------------------------
         self.system_fs = Filesystem(label="system")
         self.processes = ProcessTable()
         self.sysfs = Sysfs(self.processes)
-        self.binder = BinderDriver()
+        self.binder = BinderDriver(obs=self.obs)
         self.binder.attach_process_table(self.processes)
         self.network = NetworkStack()
-        self.branches = BranchManager(self.system_fs)
-        self.audit_log = AuditLog()
+        self.branches = BranchManager(self.system_fs, obs=self.obs)
+        self.audit_log = AuditLog(device_id=self.device_id)
         self.binder.attach_audit_log(self.audit_log)
         self.commit_journal = CommitJournal(self.system_fs)
         # -- namespaces -------------------------------------------------------
         # Every app sees the system fs at / and public external storage at
         # EXTDIR; the system process additionally sees the volatile forest.
-        self.base_namespace = MountNamespace(self.system_fs)
+        self.base_namespace = MountNamespace(self.system_fs, obs=self.obs)
         self.base_namespace.mount(EXTDIR, self.branches.pub_fs)
         self.system_namespace = self.base_namespace.unshare()
         self.system_namespace.mount(VOLATILE_MOUNT, self.branches.vol_fs)
@@ -103,6 +122,7 @@ class Device:
             namespace=self.system_namespace,
             context=TaskContext(app=None, initiator=None),
             name="system_server",
+            obs=self.obs,
         )
         self.processes.register(self.system_process)
         # -- framework ---------------------------------------------------------
@@ -117,7 +137,11 @@ class Device:
         self.resolver.register(self.downloads)
         self.resolver.register(self.media)
         self.resolver.register(self.contacts)
-        self.clipboard = ClipboardService(maxoid_enabled)
+        # The system providers' COW proxies were built before the device
+        # existed; attach them (and their databases) to this context.
+        for provider in (self.user_dictionary, self.downloads, self.media, self.contacts):
+            provider.proxy.bind_obs(self.obs)
+        self.clipboard = ClipboardService(maxoid_enabled, obs=self.obs)
         self.bluetooth = BluetoothService(maxoid_enabled)
         self.telephony = TelephonyService(maxoid_enabled)
         self.download_manager = DownloadManager(self.resolver)
@@ -139,6 +163,7 @@ class Device:
             self.packages,
             self._build_namespace,
             maxoid_enabled=maxoid_enabled,
+            obs=self.obs,
         )
         self.am = ActivityManagerService(
             self.packages,
@@ -147,6 +172,7 @@ class Device:
             self.binder,
             ipc_guard=self.ipc_guard,
             maxoid_manifests=self.maxoid_manifests,
+            obs=self.obs,
         )
         self.launcher = Launcher(self.am, self)
         self._apps: Dict[str, Any] = {}
@@ -199,6 +225,9 @@ class Device:
         so the IPC guard lets the owner's delegates reach it — the Email
         attachment flow (paper section 2.2.III)."""
         self.resolver.register(provider)
+        proxy = getattr(provider, "proxy", None)
+        if proxy is not None and hasattr(proxy, "bind_obs"):
+            proxy.bind_obs(self.obs)
         if self.ipc_guard is not None and provider.owner is not None:
             self.ipc_guard.register_instance(
                 f"provider:{provider.authority}",
@@ -353,12 +382,12 @@ class Device:
         provenance ledger armed so any violation lands in the audit log
         carrying its full lineage chain.
 
-        Note: runs inside ``OBS.capture``, which resets the global tracer —
-        callers should not invoke ``recover(validate=True)`` while holding
-        an open capture of their own.
+        Note: runs inside ``self.obs.capture``, which resets this device's
+        tracer — callers should not invoke ``recover(validate=True)`` while
+        holding an open capture of their own on the same context.
         """
         packages = [p.manifest.package for p in self.packages.all_packages()]
-        with OBS.capture(ring_capacity=32768, prov=True) as obs:
+        with self.obs.capture(ring_capacity=32768, prov=True) as obs:
             monitor = SecurityMonitor(
                 obs.tracer,
                 packages,

@@ -28,7 +28,6 @@ from repro.kernel.proc import Process
 from repro.kernel.syscall import Syscalls
 from repro.core.branches import BranchManager
 from repro.core.journal import CommitJournal
-from repro.obs import OBS as _OBS
 from repro.sched import SCHED as _SCHED
 
 EXT_TMP = vpath.join(EXTDIR, "tmp")
@@ -47,6 +46,9 @@ class VolatileFiles:
         self._process = process
         self._sys = Syscalls(process)
         self._package = process.context.app
+        # Resolve observability through the process: volatile-state spans
+        # land in the owning device's context.
+        self.obs = process.obs
         # The device-wide commit WAL; without one (bare construction in
         # unit tests) commits fall back to the direct, non-journaled copy.
         self._journal = journal
@@ -61,8 +63,8 @@ class VolatileFiles:
 
     def list_files(self) -> List[str]:
         """All volatile files, as app-visible tmp paths."""
-        if _OBS.enabled:
-            with _OBS.tracer.span("vol.list", initiator=self._package) as span:
+        if self.obs.enabled:
+            with self.obs.tracer.span("vol.list", initiator=self._package) as span:
                 found = self._list_files_impl()
                 span.set(count=len(found))
                 return found
@@ -86,13 +88,13 @@ class VolatileFiles:
         ``EXTDIR/tmp/<p>`` commits to ``EXTDIR/<p>``; a path under the
         initiator's internal tmp commits into its internal dir.
         """
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "vol.commit", initiator=self._package, path=tmp_path
             ) as span:
                 destination = self._commit_impl(tmp_path)
                 span.set(destination=destination)
-                _OBS.metrics.count("vol.commits")
+                self.obs.metrics.count("vol.commits")
                 return destination
         return self._commit_impl(tmp_path)
 
@@ -137,11 +139,11 @@ class VolatileFiles:
             )
         self._sys.makedirs(vpath.parent(destination))
         self._sys.write_file(destination, data)
-        if _OBS.prov:
+        if self.obs.prov:
             # Link destination to the volatile source directly, so
             # explain() shows the commit edge even when the reading and
             # writing process taints have mixed other labels in.
-            _OBS.provenance.commit_file(tmp_path, destination, self._package or "")
+            self.obs.provenance.commit_file(tmp_path, destination, self._package or "")
         if _FAULTS.enabled:
             _FAULTS.hit(
                 "vol.commit.truncate", initiator=self._package, path=destination

@@ -30,7 +30,7 @@ through the mount point, where the union enforces the merged view's checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.errors import (
     DirectoryNotEmpty,
@@ -113,6 +113,7 @@ class AufsMount(FilesystemAPI):
         *,
         always_allow_read: bool = False,
         label: str = "",
+        obs: Optional[Any] = None,
     ) -> None:
         if not branches:
             raise ValueError("an Aufs mount needs at least one branch")
@@ -126,6 +127,9 @@ class AufsMount(FilesystemAPI):
         self.copy_up_count = 0
         self.copy_up_bytes = 0
         self.lookup_branches_scanned = 0
+        # The owning device's observability context (the branch manager
+        # passes its device's handle; bare mounts fall back to OBS).
+        self.obs = obs if obs is not None else _OBS
         self.rwlock = RWLock(f"aufs:{label or 'union'}")
         for branch in self.branches:
             if not branch.fs.exists(branch.root, ROOT_CRED):
@@ -185,12 +189,12 @@ class AufsMount(FilesystemAPI):
 
         Returns ``(branch_index, stat)`` or raises :class:`FileNotFound`.
         """
-        if _OBS.enabled:
-            _OBS.metrics.count("aufs.lookup")
+        if self.obs.enabled:
+            self.obs.metrics.count("aufs.lookup")
         for index, branch in enumerate(self.branches):
             self.lookup_branches_scanned += 1
-            if _OBS.enabled:
-                _OBS.metrics.count("aufs.lookup.branches_scanned")
+            if self.obs.enabled:
+                self.obs.metrics.count("aufs.lookup.branches_scanned")
             branch_path = branch.path(union_path)
             if not branch.fs.exists(branch_path, ROOT_CRED):
                 continue
@@ -256,8 +260,8 @@ class AufsMount(FilesystemAPI):
         The copy is owned by the writer, matching Maxoid's redirect
         semantics: after copy-up the delegate owns its private copy.
         """
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "aufs.copy_up", mount=self.label, path=union_path
             ) as span:
                 self._copy_up_impl(union_path, source_index, cred, span)
@@ -301,8 +305,8 @@ class AufsMount(FilesystemAPI):
         if _SCHED.enabled:
             _SCHED.yield_point("aufs.copy_up.publish", path=union_path)
         branch.fs.rename(staging, target, ROOT_CRED)
-        if _OBS.prov:
-            _OBS.provenance.copy_up(
+        if self.obs.prov:
+            self.obs.provenance.copy_up(
                 stat.ino,
                 branch.fs.stat(target, ROOT_CRED).ino,
                 union_path,
@@ -312,9 +316,9 @@ class AufsMount(FilesystemAPI):
         self.copy_up_bytes += len(data)
         if span is not None:
             span.set(bytes=len(data), branch=branch.label or branch.root)
-            _OBS.metrics.count("aufs.copy_up")
-            _OBS.metrics.count("aufs.copy_up.bytes", len(data))
-            _OBS.metrics.observe("aufs.copy_up.size", len(data), DEFAULT_BYTE_BUCKETS)
+            self.obs.metrics.count("aufs.copy_up")
+            self.obs.metrics.count("aufs.copy_up.bytes", len(data))
+            self.obs.metrics.observe("aufs.copy_up.size", len(data), DEFAULT_BYTE_BUCKETS)
 
     def _copy_up_tree(self, union_path: str, cred: Credentials) -> None:
         """Recursively materialize a visible subtree in the writable branch."""
@@ -356,9 +360,9 @@ class AufsMount(FilesystemAPI):
         exclusive: bool = False,
         mode: int = 0o644,
     ) -> FileHandle:
-        if _OBS.enabled:
+        if self.obs.enabled:
             wb = self.writable_branch
-            with _OBS.tracer.span(
+            with self.obs.tracer.span(
                 "aufs.open",
                 mount=self.label,
                 path=path,
@@ -366,7 +370,7 @@ class AufsMount(FilesystemAPI):
                 writable_branch=(wb.label or wb.root) if wb is not None else None,
                 writable_root=wb.root if wb is not None else None,
             ):
-                _OBS.metrics.count("aufs.open")
+                self.obs.metrics.count("aufs.open")
                 return self._open_impl(
                     path,
                     cred,

@@ -68,7 +68,10 @@ class BinderDriver:
     delegate_retries: int = 2
     retry_backoff_ms: float = 16.0
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Any] = None) -> None:
+        # The owning device's observability context (fleet devices pass
+        # their own; bare drivers fall back to the default OBS).
+        self.obs = obs if obs is not None else _OBS
         self._endpoints: Dict[str, BinderEndpoint] = {}
         self._policy: Optional[BinderPolicy] = None
         self._processes: Optional[ProcessTable] = None
@@ -181,8 +184,8 @@ class BinderDriver:
     def _traced_transact(
         self, sender: Process, target: str, code: str, payload: Any
     ) -> Any:
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "binder.transact", ctx=str(sender.context), target=target, code=code
             ):
                 return self._transact_impl(sender, target, code, payload)
@@ -212,26 +215,26 @@ class BinderDriver:
         )
         if self._policy is not None and not self._policy(sender.context, endpoint):
             self.denied_log.append(transaction)
-            if _OBS.enabled:
-                _OBS.metrics.count("binder.denied")
+            if self.obs.enabled:
+                self.obs.metrics.count("binder.denied")
             raise IpcDenied(
                 f"binder: {sender.context} may not transact with {endpoint.name}"
             )
         self.transaction_log.append(transaction)
-        if _OBS.enabled:
-            _OBS.metrics.count("binder.transactions")
+        if self.obs.enabled:
+            self.obs.metrics.count("binder.transactions")
         if _SCHED.enabled:
             # Delivery is a separate boundary from the policy check: the
             # kernel may preempt between admission and handler dispatch.
             _SCHED.yield_point("binder.deliver", target=target, code=code)
-        if _OBS.prov:
+        if self.obs.prov:
             # Work the endpoint does on the sender's behalf (clipboard,
             # providers) must taint/stamp as the *sender*, not the service.
-            _OBS.provenance.push_actor(str(sender.context), sender.pid)
+            self.obs.provenance.push_actor(str(sender.context), sender.pid)
             try:
                 return endpoint.handler(transaction)
             finally:
-                _OBS.provenance.pop_actor()
+                self.obs.provenance.pop_actor()
         return endpoint.handler(transaction)
 
     def _live_endpoint(self, target: str) -> BinderEndpoint:

@@ -13,7 +13,7 @@ resolution picks the mount with the longest matching prefix, so a mount at
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import FileNotFound
 from repro.faults import FAULTS as _FAULTS
@@ -30,13 +30,18 @@ class MountNamespace:
     The namespace always has a root filesystem mounted at ``/``.
     """
 
-    def __init__(self, root_fs: Optional[FilesystemAPI] = None) -> None:
+    def __init__(
+        self, root_fs: Optional[FilesystemAPI] = None, obs: Optional[Any] = None
+    ) -> None:
         self._mounts: Dict[str, FilesystemAPI] = {}
         self._mounts["/"] = root_fs if root_fs is not None else Filesystem(label="rootfs")
         # One mount-infrastructure lock shared with every unshare() clone:
         # the kernel serializes mount-table surgery globally, and sharing
         # the object keeps the lock-order graph to one "ns" node.
         self.rwlock = RWLock("ns")
+        # The owning device's observability context; unshare() clones
+        # inherit it, so every namespace in a device shares one registry.
+        self.obs = obs if obs is not None else _OBS
 
     # ------------------------------------------------------------------
 
@@ -77,6 +82,7 @@ class MountNamespace:
         clone = MountNamespace.__new__(MountNamespace)
         clone._mounts = dict(self._mounts)
         clone.rwlock = self.rwlock
+        clone.obs = self.obs
         return clone
 
     # ------------------------------------------------------------------
@@ -88,8 +94,8 @@ class MountNamespace:
         """
         if _FAULTS.enabled:
             _FAULTS.hit("mounts.resolve", path=path)
-        if _OBS.enabled:
-            _OBS.metrics.count("mounts.resolve")
+        if self.obs.enabled:
+            self.obs.metrics.count("mounts.resolve")
         if _SCHED.enabled:
             with self.rwlock.read():
                 return self._resolve_impl(path)

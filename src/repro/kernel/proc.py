@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional
 from repro.errors import NoSuchProcess
 from repro.kernel.mounts import MountNamespace
 from repro.kernel.vfs import Credentials
+from repro.obs import OBS, ObsContext
 
 
 @dataclass(frozen=True)
@@ -59,12 +60,16 @@ class Process:
         namespace: MountNamespace,
         context: TaskContext = SYSTEM_CONTEXT,
         name: str = "",
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.pid: int = next(Process._pid_counter)
         self.cred = cred
         self.namespace = namespace
         self.context = context
         self.name = name or str(context)
+        # The observability context of the device this process runs on;
+        # every layer acting for the process gates on it.
+        self.obs = obs if obs is not None else OBS
         self.alive = True
         # Exit hooks let the framework tear down per-process state
         # (e.g. clipboard instances) when a process is killed.

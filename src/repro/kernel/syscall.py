@@ -20,7 +20,7 @@ from repro.faults import FAULTS as _FAULTS
 from repro.kernel import path as vpath
 from repro.kernel.proc import Process
 from repro.kernel.vfs import FileHandle, Stat
-from repro.obs import DEFAULT_BYTE_BUCKETS, OBS as _OBS
+from repro.obs import DEFAULT_BYTE_BUCKETS
 from repro.sched import SCHED as _SCHED
 
 O_RDONLY = 0x0
@@ -37,6 +37,9 @@ class Syscalls:
 
     def __init__(self, process: Process) -> None:
         self.process = process
+        # The owning device's observability context, resolved through the
+        # process this syscall table acts for (one load + branch when off).
+        self.obs = process.obs
 
     def _check_alive(self) -> None:
         if not self.process.alive:
@@ -46,11 +49,11 @@ class Syscalls:
 
     def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> FileHandle:
         """Open ``path`` with POSIX-style ``flags``; returns a file handle."""
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "vfs.open", ctx=str(self.process.context), path=path, flags=flags
             ):
-                _OBS.metrics.count("vfs.open")
+                self.obs.metrics.count("vfs.open")
                 return self._open_impl(path, flags, mode)
         return self._open_impl(path, flags, mode)
 
@@ -93,14 +96,14 @@ class Syscalls:
         accmode = flags & 0o3
         read = accmode in (O_RDONLY, O_RDWR)
         write = accmode in (O_WRONLY, O_RDWR)
-        if _OBS.prov:
+        if self.obs.prov:
             # Copy-up may fire inside fs.open(); the actor stack tells the
             # ledger which process the copied data is flowing on behalf of.
-            _OBS.provenance.push_actor(str(self.process.context), self.process.pid)
+            self.obs.provenance.push_actor(str(self.process.context), self.process.pid)
             try:
                 return self._fs_open(fs, inner, read, write, flags, mode)
             finally:
-                _OBS.provenance.pop_actor()
+                self.obs.provenance.pop_actor()
         return self._fs_open(fs, inner, read, write, flags, mode)
 
     def _fs_open(self, fs, inner: str, read: bool, write: bool, flags: int, mode: int) -> FileHandle:
@@ -160,14 +163,14 @@ class Syscalls:
     # -- convenience wrappers -------------------------------------------
 
     def read_file(self, path: str) -> bytes:
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "vfs.read", ctx=str(self.process.context), path=path
             ) as span:
                 data = self._read_file_impl(path)
                 span.set(bytes=len(data))
-                _OBS.metrics.count("vfs.read")
-                _OBS.metrics.observe("vfs.read.bytes", len(data), DEFAULT_BYTE_BUCKETS)
+                self.obs.metrics.count("vfs.read")
+                self.obs.metrics.observe("vfs.read.bytes", len(data), DEFAULT_BYTE_BUCKETS)
                 return data
         return self._read_file_impl(path)
 
@@ -183,8 +186,8 @@ class Syscalls:
     def _read_file_body(self, path: str) -> bytes:
         with self.open(path, O_RDONLY) as handle:
             data = handle.read()
-            if _OBS.prov:
-                _OBS.provenance.read(
+            if self.obs.prov:
+                self.obs.provenance.read(
                     self.process.pid, str(self.process.context), path, ino=handle.ino
                 )
             return data
@@ -192,12 +195,12 @@ class Syscalls:
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> None:
         if _FAULTS.enabled:
             _FAULTS.hit("vfs.write", ctx=str(self.process.context), path=path)
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "vfs.write", ctx=str(self.process.context), path=path, bytes=len(data)
             ):
-                _OBS.metrics.count("vfs.write")
-                _OBS.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
+                self.obs.metrics.count("vfs.write")
+                self.obs.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
                 return self._write_file_impl(path, data, mode)
         return self._write_file_impl(path, data, mode)
 
@@ -213,21 +216,21 @@ class Syscalls:
     def _write_file_body(self, path: str, data: bytes, mode: int = 0o644) -> None:
         with self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode=mode) as handle:
             handle.write(data)
-            if _OBS.prov:
-                _OBS.provenance.write(
+            if self.obs.prov:
+                self.obs.provenance.write(
                     self.process.pid, str(self.process.context), path, ino=handle.ino
                 )
 
     def append_file(self, path: str, data: bytes) -> None:
         if _FAULTS.enabled:
             _FAULTS.hit("vfs.write", ctx=str(self.process.context), path=path)
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "vfs.write", ctx=str(self.process.context), path=path,
                 bytes=len(data), append=True,
             ):
-                _OBS.metrics.count("vfs.write")
-                _OBS.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
+                self.obs.metrics.count("vfs.write")
+                self.obs.metrics.observe("vfs.write.bytes", len(data), DEFAULT_BYTE_BUCKETS)
                 return self._append_file_impl(path, data)
         return self._append_file_impl(path, data)
 
@@ -243,8 +246,8 @@ class Syscalls:
     def _append_file_body(self, path: str, data: bytes) -> None:
         with self.open(path, O_WRONLY | O_APPEND) as handle:
             handle.write(data)
-            if _OBS.prov:
-                _OBS.provenance.write(
+            if self.obs.prov:
+                self.obs.provenance.write(
                     self.process.pid, str(self.process.context), path, ino=handle.ino
                 )
 

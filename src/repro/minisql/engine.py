@@ -95,7 +95,14 @@ class Database:
     version the Maxoid authors ported to Android.
     """
 
-    def __init__(self, sqlite_emulation: str = planner.FLATTEN_ORDER_BY_SUBSET) -> None:
+    def __init__(
+        self,
+        sqlite_emulation: str = planner.FLATTEN_ORDER_BY_SUBSET,
+        obs: Optional[object] = None,
+    ) -> None:
+        # The observability context of whoever owns this database (a COW
+        # proxy passes its device's handle; bare databases use OBS).
+        self.obs = obs if obs is not None else _OBS
         self.tables: Dict[str, Table] = {}
         self.views: Dict[str, _View] = {}
         # view name -> event -> trigger
@@ -111,14 +118,14 @@ class Database:
 
     def execute(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
         """Parse and execute one SQL statement."""
-        if _OBS.enabled:
-            with _OBS.tracer.span(
+        if self.obs.enabled:
+            with self.obs.tracer.span(
                 "sql.execute", sql=sql if len(sql) <= 200 else sql[:197] + "..."
             ) as span:
                 result = self._execute_impl(sql, params)
                 span.set(rows=len(result.rows), rowcount=result.rowcount)
-                _OBS.metrics.count("sql.statements")
-                _OBS.metrics.observe("sql.execute.ms", span.elapsed_ms)
+                self.obs.metrics.count("sql.statements")
+                self.obs.metrics.observe("sql.execute.ms", span.elapsed_ms)
                 return result
         return self._execute_impl(sql, params)
 
@@ -136,13 +143,13 @@ class Database:
             )
         result = self._dispatch(statement, list(params))
         if (
-            _OBS.prov
+            self.obs.prov
             and isinstance(statement, ast.Insert)
             and result.lastrowid is not None
         ):
             # Raw inserts (outside the COW proxy) still stamp the row, so
             # provider state written directly is never label-less.
-            _OBS.provenance.row_write(
+            self.obs.provenance.row_write(
                 statement.table.lower(), result.lastrowid, op="sql.insert"
             )
         return result

@@ -1,15 +1,23 @@
 """Cross-layer observability for the Maxoid reproduction.
 
-One process-wide :class:`Observability` instance (``OBS``) owns the
-:class:`~repro.obs.trace.Tracer` and the
-:class:`~repro.obs.metrics.Metrics` registry. Instrumented hot paths in
-the kernel (:mod:`repro.kernel.syscall`, :mod:`repro.kernel.aufs`,
-:mod:`repro.kernel.binder`, :mod:`repro.kernel.mounts`), the framework
-(:mod:`repro.android.am`, :mod:`repro.android.zygote`), the Maxoid core
-(:mod:`repro.core.cow`, :mod:`repro.core.volatile`) and the SQL engine
-(:mod:`repro.minisql.engine`) all gate on the single ``OBS.enabled``
-attribute, so the disabled fast path costs one attribute load and a
-branch per operation and nothing else.
+Observability is **per device**: each :class:`ObsContext` owns a
+:class:`~repro.obs.trace.Tracer`, a :class:`~repro.obs.metrics.Metrics`
+registry, a provenance ledger and a profiler, all behind one ``enabled``
+switch. A :class:`~repro.core.device.Device` owns its context
+(``device.obs``) and hands it to everything it builds — processes, the
+binder driver, mount namespaces, the Aufs branches, the COW proxies, the
+SQL engines — so every instrumented layer resolves the gating attribute
+through the device/process it is acting *for*. Two devices therefore
+record into disjoint tracers and registries; nothing telemetry-shaped is
+process-global any more.
+
+``OBS`` remains as the **default context**: objects constructed without a
+device (bare ``Device()``, unit-test fixtures, the workload harness)
+attach to it, so existing single-device call sites and ``OBS.capture()``
+keep working unchanged. The disabled fast path is preserved by
+construction — every hot-path hook is still a single attribute load plus
+a branch (``if self.obs.enabled:``), and nothing else runs when it is
+off.
 
 Span taxonomy (the prefix is the layer):
 
@@ -22,30 +30,30 @@ Span taxonomy (the prefix is the layer):
   ``delete``/``commit``/``discard``
 - ``sql.*``     — mini SQL engine: ``sql.execute``
 - ``vol.*``     — volatile-state management: ``vol.commit``
-- ``prov.*``    — provenance ledger (needs ``OBS.prov``): ``prov.read``,
+- ``prov.*``    — provenance ledger (needs ``ctx.prov``): ``prov.read``,
   ``prov.write``, ``prov.copy_up``, ``prov.commit_file``,
   ``prov.row_write``, ``prov.row_commit``, ``prov.clip_set``,
   ``prov.clip_get``, ``prov.fork``, ``prov.intent_flow``
 
-Provenance tracking (:mod:`repro.obs.provenance`) sits behind its own
-``OBS.prov`` sub-switch layered on top of ``OBS.enabled``: with it off,
-every hot path pays the same single attribute load as before. With it
-armed, reads join object labels into the reading process's taint set,
-writes stamp the destination, and the streaming
-:class:`~repro.obs.monitor.SecurityMonitor` can attach S1-S4 checks to
-each closing span with :meth:`~repro.obs.provenance.ProvenanceLedger
-.explain` lineage.
+Every span is stamped with its context's ``device_id`` (and carries its
+``trace_id``), so interleaved multi-device span streams separate cleanly.
+Deterministic seeded **head sampling** (``enable(sample_rate=...,
+sample_seed=...)``) keeps always-on fleet tracing bounded: the keep/drop
+decision is a seeded hash of the trace-root ordinal, so the same seed
+reproduces the same sample.
 
-Performance profiling (:mod:`repro.obs.profile`) follows the same
-sub-switch pattern behind ``OBS.profile``: armed, a tracer listener folds
-every closing span into per-span-name latency histograms
-(``lat.vfs.open``, ...) with interpolated p50/p95/p99, and
-:func:`~repro.obs.profile.critical_path` attributes one invocation's wall
-time across layers. :mod:`repro.obs.export` turns the same span stream
-into Chrome/Perfetto trace JSON, folded flamegraph stacks, or a
-speedscope profile.
+Provenance tracking (:mod:`repro.obs.provenance`) sits behind a per-
+context ``prov`` sub-switch layered on top of ``enabled``; performance
+profiling (:mod:`repro.obs.profile`) behind ``profile``. Both follow the
+same one-attribute-load contract.
 
-Typical use::
+Fleet aggregation (:mod:`repro.obs.fleet`) re-merges per-device contexts:
+:class:`~repro.obs.fleet.FleetTelemetry` sums counter snapshots, merges
+same-boundary histograms, emits device-labeled Prometheus exposition
+under a cardinality cap, interleaves per-device AuditLog violations into
+one totally ordered feed, and renders a ``fleet_health()`` report.
+
+Typical single-device use (unchanged)::
 
     from repro.obs import OBS
 
@@ -53,13 +61,28 @@ Typical use::
         device.launch_as_delegate(...)
         trees = obs.tracer.trees()
         delta = obs.metrics.snapshot()  # capture() starts from zero
-        print(obs.provenance.explain("/storage/sdcard/out.pdf").render())
+
+Fleet use::
+
+    from repro import Device
+    from repro.obs import ObsContext
+    from repro.obs.fleet import FleetTelemetry
+
+    fleet = FleetTelemetry()
+    devices = [Device(device_id=f"dev{i}") for i in range(8)]
+    for device in devices:
+        device.obs.enable(sample_rate=0.1, sample_seed=42)
+        fleet.register_device(device)
+    ...
+    print(fleet.to_prometheus_text())   # {device="dev3"} series
+    print(fleet.fleet_health().render())
 """
 
 from __future__ import annotations
 
+import weakref
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
@@ -72,6 +95,9 @@ from repro.obs.metrics import (
     Metrics,
     MetricsSnapshot,
     diff,
+    escape_label_value,
+    format_labels,
+    render_prometheus,
 )
 from repro.obs.report import (
     breakdown,
@@ -143,7 +169,9 @@ __all__ = [
     "ProvenanceLedger",
     "SecurityMonitor",
     "OBS",
+    "ObsContext",
     "Observability",
+    "obs_contexts",
     "Tracer",
     "Span",
     "SpanNode",
@@ -158,6 +186,9 @@ __all__ = [
     "Histogram",
     "HistogramSnapshot",
     "diff",
+    "escape_label_value",
+    "format_labels",
+    "render_prometheus",
     "layer_self_times",
     "span_time",
     "breakdown",
@@ -168,11 +199,23 @@ __all__ = [
 ]
 
 
-class Observability:
-    """The tracer + metrics pair behind one enable switch."""
+#: Live contexts, weakly held. The deterministic scheduler swaps every
+#: context's span/actor stacks per task so interleaved flows from several
+#: devices cannot corrupt each other's attribution.
+_CONTEXTS: "weakref.WeakSet[ObsContext]" = weakref.WeakSet()
 
-    def __init__(self) -> None:
-        self.tracer = Tracer()
+
+def obs_contexts() -> List["ObsContext"]:
+    """All live observability contexts (the default ``OBS`` included)."""
+    return list(_CONTEXTS)
+
+
+class ObsContext:
+    """One device's tracer + metrics pair behind one enable switch."""
+
+    def __init__(self, device_id: str = "device0") -> None:
+        self.device_id = device_id
+        self.tracer = Tracer(device_id=device_id)
         self.metrics = Metrics()
         self.provenance = ProvenanceLedger(tracer=self.tracer)
         self.profiler = ProfileRecorder(self.metrics)
@@ -186,10 +229,25 @@ class Observability:
         self.profile = False
         self._jsonl_path: Optional[str] = None
         self._ring_capacity = 8192
+        _CONTEXTS.add(self)
 
-    def enable(self, jsonl_path: Optional[str] = None, ring_capacity: int = 8192) -> None:
-        """Turn instrumentation on (idempotent)."""
+    def enable(
+        self,
+        jsonl_path: Optional[str] = None,
+        ring_capacity: int = 8192,
+        sample_rate: Optional[float] = None,
+        sample_seed: int = 0,
+    ) -> None:
+        """Turn instrumentation on (idempotent).
+
+        ``sample_rate`` < 1 arms deterministic seeded head sampling: the
+        n-th trace root under a given ``sample_seed`` is kept iff a hash
+        of ``(seed, n)`` lands under the rate, so always-on fleet tracing
+        stays bounded and reproducible.
+        """
         self.tracer.enable(jsonl_path=jsonl_path, capacity=ring_capacity)
+        if sample_rate is not None:
+            self.tracer.set_sampling(rate=sample_rate, seed=sample_seed)
         self.enabled = True
         self._jsonl_path = jsonl_path
         self._ring_capacity = ring_capacity
@@ -232,15 +290,18 @@ class Observability:
         ring_capacity: int = 8192,
         prov: bool = False,
         profile: bool = False,
-    ) -> Iterator["Observability"]:
+        sample_rate: Optional[float] = None,
+        sample_seed: int = 0,
+    ) -> Iterator["ObsContext"]:
         """Enable from a clean slate for the duration of a ``with`` block.
 
         Restores the previous configuration afterwards — including a
-        JSONL sink path or custom ring capacity the instance was enabled
-        with before — so tests and benchmarks can nest captures without
-        leaking or clobbering global state. ``prov=True`` additionally
-        arms the provenance ledger for the block; ``profile=True`` arms
-        the per-span latency histograms.
+        JSONL sink path, custom ring capacity, or sampling policy the
+        context was enabled with before — so tests and benchmarks can
+        nest captures without leaking or clobbering shared state.
+        ``prov=True`` additionally arms the provenance ledger for the
+        block; ``profile=True`` arms the per-span latency histograms;
+        ``sample_rate`` arms seeded head sampling for the block.
 
         Listeners attached *inside* the block (a SecurityMonitor, say)
         are removed on exit even when the block raises mid-span, and any
@@ -254,8 +315,17 @@ class Observability:
         prior_jsonl = self._jsonl_path
         prior_capacity = self._ring_capacity
         prior_listeners = list(self.tracer._listeners)
+        prior_rate = self.tracer._sample_rate
+        prior_seed = self.tracer._sample_seed
         self.reset()
-        self.enable(jsonl_path=jsonl_path, ring_capacity=ring_capacity)
+        # A capture is a clean slate: full sampling unless asked otherwise
+        # (the context's own policy is restored on exit).
+        self.enable(
+            jsonl_path=jsonl_path,
+            ring_capacity=ring_capacity,
+            sample_rate=1.0 if sample_rate is None else sample_rate,
+            sample_seed=sample_seed,
+        )
         self.prov = prov
         if profile:
             self.enable_profile()
@@ -271,6 +341,7 @@ class Observability:
                 if listener in prior_listeners
             ]
             self.provenance.clear_actors()
+            self.tracer.set_sampling(rate=prior_rate, seed=prior_seed)
             if was_enabled:
                 self.enable(jsonl_path=prior_jsonl, ring_capacity=prior_capacity)
                 self.prov = was_prov
@@ -287,6 +358,15 @@ class Observability:
         """Finished spans as reconstructed trees."""
         return self.tracer.trees()
 
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"<ObsContext {self.device_id} ({state})>"
 
-#: The process-wide observability instance every instrumented module uses.
-OBS = Observability()
+
+#: Backwards-compatible name from the singleton era.
+Observability = ObsContext
+
+#: The default observability context. Devices built without an explicit
+#: context — and every object constructed outside a device — attach here,
+#: so pre-fleet call sites keep working unchanged.
+OBS = ObsContext()

@@ -1,0 +1,315 @@
+"""Fleet telemetry: aggregate many per-device ObsContexts into one plane.
+
+The per-device refactor shards telemetry — each
+:class:`~repro.obs.ObsContext` owns its tracer and metrics registry.
+This module is the merge side: :class:`FleetTelemetry` re-combines
+device shards into fleet-wide totals without ever touching a hot path
+(aggregation reads immutable snapshots, so it can run while devices keep
+recording).
+
+Merge semantics follow the snapshot group algebra
+(:class:`~repro.obs.metrics.MetricsSnapshot` under ``+``): counters sum,
+gauges sum, histograms with identical boundaries merge bucket-wise. The
+Prometheus exporter labels every series with ``device="..."`` under a
+**cardinality cap** — beyond ``max_label_devices`` devices, the
+remainder is merged into one ``device="_other"`` series so a large
+fleet cannot explode the time-series count. Per-device
+:class:`~repro.core.audit.AuditLog` violations interleave into a single
+feed totally ordered by ``(seq, device_id)`` — deterministic because
+``seq`` is monotone per device.
+
+``fleet_health()`` renders a deterministic report: per-device span /
+violation / sampled-out counts and the top-k ``lat.*`` histograms ranked
+by observation count. Wall-clock latencies are excluded by default
+(``verbose=True`` adds them) so the same workload under the same
+sampling seed renders byte-identically — the property the regression
+suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    MetricsSnapshot,
+    _prom_name,
+    _prom_number,
+    _escape_help,
+    format_labels,
+)
+
+__all__ = [
+    "FleetTelemetry",
+    "FleetHealthReport",
+    "DeviceHealth",
+    "OVERFLOW_DEVICE",
+]
+
+#: Label value the over-cap remainder is merged under.
+OVERFLOW_DEVICE = "_other"
+
+
+class FleetError(ReproError):
+    """Misuse of the fleet aggregator (duplicate or unknown device)."""
+
+
+@dataclass(frozen=True)
+class DeviceHealth:
+    """One device's row in the health report (counts only)."""
+
+    device_id: str
+    spans_started: int
+    spans_sampled_out: int
+    violations: int
+    counter_total: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "device_id": self.device_id,
+            "spans_started": self.spans_started,
+            "spans_sampled_out": self.spans_sampled_out,
+            "violations": self.violations,
+            "counter_total": self.counter_total,
+        }
+
+
+@dataclass(frozen=True)
+class FleetHealthReport:
+    """Deterministic fleet summary: device rows + top-k latency offenders.
+
+    ``top_latencies`` ranks ``lat.*`` histograms by observation *count*
+    (ties broken by name), not by recorded milliseconds — counts are a
+    function of the workload and the sampling seed alone, so the default
+    ``render()`` is byte-identical across runs of the same workload.
+    """
+
+    devices: Tuple[DeviceHealth, ...]
+    #: (histogram name, observation count, mean ms) — mean only shown
+    #: in verbose renders.
+    top_latencies: Tuple[Tuple[str, int, float], ...] = ()
+
+    @property
+    def total_spans(self) -> int:
+        return sum(d.spans_started for d in self.devices)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(d.violations for d in self.devices)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "devices": [d.to_dict() for d in self.devices],
+            "top_latencies": [
+                {"name": name, "count": count} for name, count, _mean in self.top_latencies
+            ],
+            "total_spans": self.total_spans,
+            "total_violations": self.total_violations,
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        """The report as text; ``verbose=True`` adds wall-clock means
+        (non-deterministic — keep it out of golden comparisons)."""
+        lines = [
+            f"fleet: {len(self.devices)} device(s), "
+            f"{self.total_spans} span(s), {self.total_violations} violation(s)"
+        ]
+        for dev in self.devices:
+            lines.append(
+                f"  {dev.device_id}: spans={dev.spans_started} "
+                f"sampled_out={dev.spans_sampled_out} "
+                f"violations={dev.violations} counters={dev.counter_total}"
+            )
+        if self.top_latencies:
+            lines.append("top latency sites (by observation count):")
+            for name, count, mean_ms in self.top_latencies:
+                row = f"  {name}: n={count}"
+                if verbose:
+                    row += f" mean={mean_ms:.3f}ms"
+                lines.append(row)
+        return "\n".join(lines)
+
+
+class FleetTelemetry:
+    """Aggregates per-device observability shards.
+
+    Register each device's context (and optionally its audit log); every
+    read-side method then merges on demand. Registration order does not
+    matter — all outputs sort by ``device_id``.
+    """
+
+    def __init__(self, max_label_devices: int = 32) -> None:
+        if max_label_devices < 1:
+            raise FleetError("max_label_devices must be >= 1")
+        #: Cardinality cap for the labeled Prometheus export: at most
+        #: this many ``device="..."`` label values; the rest fold into
+        #: ``device="_other"``.
+        self.max_label_devices = max_label_devices
+        self._contexts: Dict[str, Any] = {}
+        self._audit_logs: Dict[str, Any] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, obs: Any, audit_log: Optional[Any] = None) -> None:
+        """Add one device's context (and optionally its audit log)."""
+        device_id = obs.device_id
+        if device_id in self._contexts and self._contexts[device_id] is not obs:
+            raise FleetError(f"device_id {device_id!r} already registered")
+        self._contexts[device_id] = obs
+        if audit_log is not None:
+            self._audit_logs[device_id] = audit_log
+
+    def register_device(self, device: Any) -> None:
+        """Add a :class:`~repro.core.device.Device` (context + audit log)."""
+        self.register(device.obs, audit_log=device.audit_log)
+
+    def device_ids(self) -> List[str]:
+        return sorted(self._contexts)
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    # -- metrics ----------------------------------------------------------
+
+    def per_device_metrics(self) -> Dict[str, MetricsSnapshot]:
+        """Each device's registry snapshot, keyed by device_id."""
+        return {
+            device_id: self._contexts[device_id].metrics.snapshot()
+            for device_id in self.device_ids()
+        }
+
+    def merged_metrics(self) -> MetricsSnapshot:
+        """Fleet-wide totals: counter sums, same-boundary bucket merges."""
+        merged = MetricsSnapshot()
+        for snapshot in self.per_device_metrics().values():
+            merged = merged + snapshot
+        return merged
+
+    # -- Prometheus export -------------------------------------------------
+
+    def _labeled_shards(self) -> List[Tuple[str, MetricsSnapshot]]:
+        """(label value, snapshot) pairs after applying the cardinality
+        cap: the first ``max_label_devices`` devices (sorted) keep their
+        own label; the remainder merges under ``_other``."""
+        snapshots = self.per_device_metrics()
+        ids = self.device_ids()
+        shards = [(device_id, snapshots[device_id]) for device_id in ids[: self.max_label_devices]]
+        overflow = ids[self.max_label_devices :]
+        if overflow:
+            folded = MetricsSnapshot()
+            for device_id in overflow:
+                folded = folded + snapshots[device_id]
+            shards.append((OVERFLOW_DEVICE, folded))
+        return shards
+
+    def to_prometheus_text(self, help_text: Optional[Dict[str, str]] = None) -> str:
+        """Device-labeled exposition text.
+
+        Emits one ``# HELP``/``# TYPE`` header per metric family with all
+        device series consecutive under it (the format requires family
+        samples to be contiguous). The per-device series of any metric
+        equal what that device would export in isolation with the same
+        label attached — sharding is invisible to a scrape consumer.
+        """
+        help_text = help_text or {}
+        shards = self._labeled_shards()
+        lines: List[str] = []
+
+        def header(raw_name: str, metric: str, kind: str) -> None:
+            if raw_name in help_text:
+                lines.append(f"# HELP {metric} {_escape_help(help_text[raw_name])}")
+            lines.append(f"# TYPE {metric} {kind}")
+
+        counter_names = sorted({n for _d, s in shards for n in s.counters})
+        gauge_names = sorted({n for _d, s in shards for n in s.gauges})
+        hist_names = sorted({n for _d, s in shards for n in s.histograms})
+        for name in counter_names:
+            metric = _prom_name(name) + "_total"
+            header(name, metric, "counter")
+            for device_id, snap in shards:
+                if name not in snap.counters:
+                    continue
+                labels = format_labels({"device": device_id})
+                lines.append(f"{metric}{labels} {snap.counters[name]}")
+        for name in gauge_names:
+            metric = _prom_name(name)
+            header(name, metric, "gauge")
+            for device_id, snap in shards:
+                if name not in snap.gauges:
+                    continue
+                labels = format_labels({"device": device_id})
+                lines.append(f"{metric}{labels} {_prom_number(snap.gauges[name])}")
+        for name in hist_names:
+            metric = _prom_name(name)
+            header(name, metric, "histogram")
+            for device_id, snap in shards:
+                hist = snap.histograms.get(name)
+                if hist is None:
+                    continue
+                device_labels = {"device": device_id}
+                cumulative = 0
+                for edge, bucket in zip(hist.boundaries, hist.counts):
+                    cumulative += bucket
+                    le = format_labels(device_labels, extra=("le", _prom_number(edge)))
+                    lines.append(f"{metric}_bucket{le} {cumulative}")
+                le = format_labels(device_labels, extra=("le", "+Inf"))
+                lines.append(f"{metric}_bucket{le} {hist.count}")
+                labels = format_labels(device_labels)
+                lines.append(f"{metric}_sum{labels} {_prom_number(hist.total)}")
+                lines.append(f"{metric}_count{labels} {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- spans -------------------------------------------------------------
+
+    def spans(self) -> List[Any]:
+        """Every registered device's finished spans, in a deterministic
+        merged order: ``(device_id, trace_id, span_id)``. Each span is
+        already stamped with its ``device_id`` and ``trace_id``."""
+        merged: List[Any] = []
+        for device_id in self.device_ids():
+            merged.extend(self._contexts[device_id].tracer.finished())
+        merged.sort(key=lambda s: (s.device_id, s.trace_id, s.span_id))
+        return merged
+
+    # -- audit violations --------------------------------------------------
+
+    def violations(self) -> List[Any]:
+        """All registered audit logs' violation events as one feed,
+        totally ordered by ``(seq, device_id)`` — a deterministic
+        round-robin interleave of the per-device monotone sequences."""
+        merged: List[Any] = []
+        for device_id in sorted(self._audit_logs):
+            merged.extend(self._audit_logs[device_id].violations())
+        merged.sort(key=lambda e: (e.seq, e.device_id))
+        return merged
+
+    # -- health ------------------------------------------------------------
+
+    def fleet_health(self, top_k: int = 5) -> FleetHealthReport:
+        """Per-device counts plus the top-``k`` ``lat.*`` histograms by
+        observation count over the merged registry."""
+        rows: List[DeviceHealth] = []
+        for device_id in self.device_ids():
+            ctx = self._contexts[device_id]
+            snapshot = ctx.metrics.snapshot()
+            log = self._audit_logs.get(device_id)
+            rows.append(
+                DeviceHealth(
+                    device_id=device_id,
+                    spans_started=ctx.tracer.started,
+                    spans_sampled_out=ctx.tracer.sampled_out,
+                    violations=len(log.violations()) if log is not None else 0,
+                    counter_total=sum(snapshot.counters.values()),
+                )
+            )
+        merged = self.merged_metrics()
+        offenders = [
+            (name, hist.count, hist.mean)
+            for name, hist in merged.histograms.items()
+            if name.startswith("lat.") and hist.count > 0
+        ]
+        offenders.sort(key=lambda item: (-item[1], item[0]))
+        return FleetHealthReport(
+            devices=tuple(rows), top_latencies=tuple(offenders[:top_k])
+        )

@@ -51,6 +51,7 @@ class Span:
         "start",
         "end",
         "status",
+        "device_id",
     )
 
     def __init__(
@@ -61,6 +62,7 @@ class Span:
         parent_id: Optional[int],
         name: str,
         attrs: Dict[str, Any],
+        device_id: str = "device0",
     ) -> None:
         self.tracer = tracer
         self.trace_id = trace_id
@@ -71,6 +73,7 @@ class Span:
         self.start = 0.0
         self.end = 0.0
         self.status = "ok"
+        self.device_id = device_id
 
     # -- context manager -------------------------------------------------
 
@@ -120,6 +123,7 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
+            "device_id": self.device_id,
             "start": self.start,
             "duration_ms": self.duration_ms,
             "status": self.status,
@@ -149,6 +153,50 @@ class _NoopSpan:
 
 
 NOOP_SPAN = _NoopSpan()
+
+
+class _SampledOutSpan:
+    """Placeholder for a span inside a head-sampled-out trace.
+
+    The tracer tracks the suppressed nesting depth so every descendant of
+    a dropped root is dropped with it; exiting unwinds the depth. Nothing
+    is recorded, so a sampled-out trace costs one counter per span.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SampledOutSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._tracer._drop_depth > 0:
+            self._tracer._drop_depth -= 1
+
+    def set(self, **attrs: Any) -> "_SampledOutSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+_M64 = (1 << 64) - 1
+
+
+def _sample_hash(seed: int, n: int) -> float:
+    """A splitmix64-style hash of ``(seed, n)`` mapped into ``[0, 1)``.
+
+    Deterministic across processes and platforms: the same seed and root
+    ordinal always land on the same side of the sampling threshold."""
+    x = (n * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9 + 0x94D049BB133111EB) & _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
 
 
 class RingBufferSink:
@@ -198,15 +246,33 @@ class JsonlSink:
 
 
 class Tracer:
-    """Creates spans, tracks the active-span stack, fans out to sinks."""
+    """Creates spans, tracks the active-span stack, fans out to sinks.
 
-    def __init__(self) -> None:
+    ``device_id`` is stamped onto every span so traces from several
+    devices' tracers separate cleanly after a fleet merge. Deterministic
+    head sampling (:meth:`set_sampling`) decides keep/drop once per trace
+    root from a seeded hash; descendants inherit the decision, so
+    always-on fleet tracing stays bounded without tearing trees apart.
+    """
+
+    def __init__(self, device_id: str = "device0") -> None:
         self.enabled = False
+        self.device_id = device_id
         self.ring = RingBufferSink()
         self._sinks: List[Any] = [self.ring]
         self._listeners: List[Any] = []
         self._stack: List[Span] = []
         self._ids = itertools.count(1)
+        #: spans recorded (kept) since the last clear().
+        self.started = 0
+        # -- head sampling --------------------------------------------------
+        self._sample_rate = 1.0
+        self._sample_seed = 0
+        self._sample_n = 0  # ordinal of the next trace root
+        self._drop_depth = 0  # >0 while inside a sampled-out trace
+        self._dropped = _SampledOutSpan(self)
+        #: trace roots dropped by head sampling since the last clear().
+        self.sampled_out = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -228,6 +294,16 @@ class Tracer:
                 sink.close()
         self._sinks = [s for s in self._sinks if not isinstance(s, JsonlSink)]
         self._stack.clear()
+        self._drop_depth = 0
+
+    def set_sampling(self, rate: float = 1.0, seed: int = 0) -> None:
+        """Head-sample trace roots at ``rate`` (keep probability in
+        ``[0, 1]``), seeded deterministically: the n-th root under a given
+        seed is always kept or always dropped."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        self._sample_rate = float(rate)
+        self._sample_seed = int(seed)
 
     def add_sink(self, sink: Any) -> None:
         self._sinks.append(sink)
@@ -250,9 +326,16 @@ class Tracer:
             self._listeners.remove(fn)
 
     def clear(self) -> None:
-        """Drop recorded spans (the JSONL file, if any, is untouched)."""
+        """Drop recorded spans (the JSONL file, if any, is untouched).
+
+        Also rewinds the sampling root ordinal, so a cleared tracer with
+        the same seed reproduces the same keep/drop sequence."""
         self.ring.clear()
         self._stack.clear()
+        self.started = 0
+        self._sample_n = 0
+        self._drop_depth = 0
+        self.sampled_out = 0
 
     # -- span creation ---------------------------------------------------
 
@@ -264,7 +347,19 @@ class Tracer:
         """
         if not self.enabled:
             return NOOP_SPAN
+        if self._drop_depth:
+            # Inside a sampled-out trace: the whole subtree is dropped.
+            self._drop_depth += 1
+            return self._dropped
         parent = self._stack[-1] if self._stack else None
+        if parent is None and self._sample_rate < 1.0:
+            n = self._sample_n
+            self._sample_n += 1
+            if _sample_hash(self._sample_seed, n) >= self._sample_rate:
+                self._drop_depth = 1
+                self.sampled_out += 1
+                return self._dropped
+        self.started += 1
         span = Span(
             tracer=self,
             trace_id=parent.trace_id if parent is not None else next(self._ids),
@@ -272,6 +367,7 @@ class Tracer:
             parent_id=parent.span_id if parent is not None else None,
             name=name,
             attrs=attrs,
+            device_id=self.device_id,
         )
         self._stack.append(span)
         return span

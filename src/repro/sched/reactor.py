@@ -53,7 +53,7 @@ from typing import (
 )
 
 from repro.errors import DelegateTimeout
-from repro.obs import OBS as _OBS
+from repro.obs import obs_contexts
 from repro.sched.locks import DeadlockError, LockOrderChecker, RWLock
 
 __all__ = [
@@ -111,10 +111,13 @@ class SchedTask:
         self.timed_out = False
         #: locks currently held, in acquisition order: (RWLock, mode).
         self.held_locks: List[Tuple[RWLock, str]] = []
-        #: saved per-task "registers": the global tracer span stack and
-        #: provenance actor stack are swapped in/out at every dispatch.
-        self.trace_stack: List[Any] = []
-        self.actor_stack: List[Any] = []
+        #: saved per-task "registers": every live ObsContext's tracer span
+        #: stack and provenance actor stack, swapped in/out at each
+        #: dispatch. Keyed per context so two devices capturing
+        #: concurrently cannot clobber each other's stacks; a context not
+        #: yet in the map starts the task from empty stacks.
+        self.trace_stacks: Dict[Any, List[Any]] = {}
+        self.actor_stacks: Dict[Any, List[Any]] = {}
         self.aborted = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -280,13 +283,16 @@ class DeterministicScheduler:
         self._replay_index = 0
         self.lock_order = LockOrderChecker()
         self._accesses = {}
-        tracer = _OBS.tracer
-        ledger = _OBS.provenance
         # Each task starts from empty span/actor stacks (a task models a
         # fresh process flow, not a continuation of the driver's spans);
-        # the driver's own stacks are restored afterwards.
-        outer_spans = tracer._stack[:]
-        outer_actors = ledger._actors[:]
+        # the driver's own stacks are restored afterwards. Every live
+        # ObsContext is covered, so a multi-device run keeps each device's
+        # capture isolated across task switches.
+        contexts = obs_contexts()
+        outer_state = {
+            ctx: (ctx.tracer._stack[:], ctx.provenance._actors[:])
+            for ctx in contexts
+        }
         self.enabled = True
         self._wake.clear()
         for task in self._tasks:
@@ -301,8 +307,9 @@ class DeterministicScheduler:
             self._loop(max_decisions)
         finally:
             self._teardown()
-            tracer._stack[:] = outer_spans
-            ledger._actors[:] = outer_actors
+            for ctx, (spans, actors) in outer_state.items():
+                ctx.tracer._stack[:] = spans
+                ctx.provenance._actors[:] = actors
             self._current = None
             self.enabled = False
         run = SchedulerRun(
@@ -411,17 +418,23 @@ class DeterministicScheduler:
         return self._rng.choice(runnable)
 
     def _dispatch(self, task: SchedTask) -> None:
-        tracer = _OBS.tracer
-        ledger = _OBS.provenance
-        tracer._stack[:] = task.trace_stack
-        ledger._actors[:] = task.actor_stack
+        # Swap in the task's saved stacks for every live context (a
+        # context the task has never run under starts empty), run one
+        # slice, then park the stacks again. Contexts created mid-run
+        # (rare: a Device built inside a task) are picked up here because
+        # the registry is re-read at each dispatch.
+        contexts = obs_contexts()
+        for ctx in contexts:
+            ctx.tracer._stack[:] = task.trace_stacks.get(ctx, [])
+            ctx.provenance._actors[:] = task.actor_stacks.get(ctx, [])
         self._wake.clear()
         self._current = task
         task.resume.set()
         self._wake.wait()
         self._current = None
-        task.trace_stack = tracer._stack[:]
-        task.actor_stack = ledger._actors[:]
+        for ctx in contexts:
+            task.trace_stacks[ctx] = ctx.tracer._stack[:]
+            task.actor_stacks[ctx] = ctx.provenance._actors[:]
 
     def _switch(self, task: SchedTask) -> None:
         if task.aborted:

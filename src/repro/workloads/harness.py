@@ -103,50 +103,56 @@ def measure(
     setup: Optional[Callable[[], object]] = None,
     warmup: int = 2,
     capture_metrics: bool = False,
+    obs: Optional[object] = None,
 ) -> Measurement:
     """Time ``fn`` over ``trials`` runs (per-trial ``setup`` untimed).
 
-    ``capture_metrics=True`` enables :mod:`repro.obs` for the timed trials
-    (restoring its prior state afterwards) and attaches the metrics delta
-    the trials produced; setup and warmup work is excluded.
+    ``capture_metrics=True`` enables the observability context for the
+    timed trials (restoring its prior state afterwards) and attaches the
+    metrics delta the trials produced; setup and warmup work is excluded.
+    ``obs`` selects which context to gate and snapshot — a per-device
+    benchmark passes its device's context; the default is the
+    process-global :data:`~repro.obs.OBS`.
     """
     if trials < 1:
         raise ReproError(f"measure({label!r}): trials must be >= 1, got {trials}")
+    if obs is None:
+        obs = OBS
     for _ in range(warmup):
         if setup is not None:
             setup()
         fn()
     samples: List[float] = []
     delta: Optional[MetricsSnapshot] = None
-    obs_was_enabled = OBS.enabled
+    obs_was_enabled = obs.enabled
     if capture_metrics and not obs_was_enabled:
-        OBS.enable()
+        obs.enable()
     gc_was_enabled = gc.isenabled()
     gc.disable()  # keep collector pauses out of per-op samples
     try:
-        before = OBS.metrics.snapshot() if capture_metrics else None
+        before = obs.metrics.snapshot() if capture_metrics else None
         for _ in range(trials):
             if setup is not None:
                 if capture_metrics:
                     # Setup work must not pollute the trial delta: gate the
                     # instrumentation off for the untimed setup call.
-                    OBS.enabled = False
+                    obs.enabled = False
                     try:
                         setup()
                     finally:
-                        OBS.enabled = True
+                        obs.enabled = True
                 else:
                     setup()
             start = time.perf_counter()
             fn()
             samples.append((time.perf_counter() - start) * 1000.0)
         if capture_metrics:
-            delta = OBS.metrics.snapshot() - before
+            delta = obs.metrics.snapshot() - before
     finally:
         if gc_was_enabled:
             gc.enable()
         if capture_metrics and not obs_was_enabled:
-            OBS.disable()
+            obs.disable()
     return Measurement(label=label, trials_ms=samples, metrics_delta=delta)
 
 

@@ -70,10 +70,43 @@ def test_render_includes_seq_category_and_details():
     log.record_violation("S2", "foreign writable root")
     text = log.render()
     lines = text.splitlines()
-    assert lines[0].startswith("[0001] recovery: replayed journal")
+    assert lines[0].startswith("[device0:0001] recovery: replayed journal")
     assert "entries=3" in lines[0] and "table='words'" in lines[0]
-    assert lines[1].startswith("[0002] violation: foreign writable root")
+    assert lines[1].startswith("[device0:0002] violation: foreign writable root")
     assert "rule='S2'" in lines[1]
+
+
+def test_device_id_is_stamped_and_round_trips_through_dict():
+    log = AuditLog(device_id="tablet7")
+    event = log.record_violation("S1", "cross-view read", lineage=["a", "b"])
+    assert event.device_id == "tablet7"
+    assert event.seq == 1
+    data = event.to_dict()
+    assert data["device_id"] == "tablet7"
+    restored = AuditEvent.from_dict(data)
+    assert restored == event
+    assert restored.device_id == "tablet7"
+    # Legacy dicts without the field default to device0.
+    del data["device_id"]
+    assert AuditEvent.from_dict(data).device_id == "device0"
+    # The render prefix carries the device for merged-feed readability.
+    assert log.render().startswith("[tablet7:0001]")
+
+
+def test_seq_is_monotonic_per_device_log():
+    log_a = AuditLog(device_id="a")
+    log_b = AuditLog(device_id="b")
+    for _ in range(3):
+        log_a.record("fault", "x")
+        log_b.record("fault", "y")
+    assert [e.seq for e in log_a.events()] == [1, 2, 3]
+    assert [e.seq for e in log_b.events()] == [1, 2, 3]
+    merged = sorted(
+        log_a.events() + log_b.events(), key=lambda e: (e.seq, e.device_id)
+    )
+    assert [(e.seq, e.device_id) for e in merged] == [
+        (1, "a"), (1, "b"), (2, "a"), (2, "b"), (3, "a"), (3, "b"),
+    ]
 
 
 def test_ingest_faults_skips_already_seen_entries():

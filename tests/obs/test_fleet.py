@@ -1,0 +1,277 @@
+"""Fleet telemetry: shard/merge correctness, cardinality cap, sampling
+determinism, merged violation feeds, and the fleet_health() report.
+
+The acceptance properties pinned here:
+
+- per-device series in the labeled export equal what each device would
+  export in isolation (sharding is invisible to a scrape consumer);
+- merged counter totals equal the sum of per-device values, and merged
+  histograms merge bucket-wise;
+- the same workload under the same sampling seed produces a
+  byte-identical ``fleet_health().render()``;
+- beyond the cardinality cap, devices fold into one ``_other`` series
+  whose values are the sum of the folded shards.
+"""
+
+import pytest
+
+from repro.android.packages import AndroidManifest
+from repro.core.device import Device
+from repro.obs import ObsContext
+from repro.obs.fleet import (
+    OVERFLOW_DEVICE,
+    FleetError,
+    FleetTelemetry,
+)
+
+pytestmark = pytest.mark.trace
+
+APP = "com.fleet.app"
+INITIATOR = "com.fleet.initiator"
+
+
+def _loaded_device(device_id: str, writes: int) -> Device:
+    device = Device(maxoid_enabled=True, device_id=device_id)
+    device.obs.enable()
+    device.install(AndroidManifest(package=APP))
+    device.install(AndroidManifest(package=INITIATOR))
+    api = device.spawn(APP, initiator=INITIATOR)
+    for index in range(writes):
+        api.write_internal(f"f{index}.bin", b"x" * 64)
+    return device
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+
+def test_register_rejects_duplicate_device_ids():
+    fleet = FleetTelemetry()
+    fleet.register(ObsContext(device_id="dup"))
+    with pytest.raises(FleetError):
+        fleet.register(ObsContext(device_id="dup"))
+
+
+def test_register_same_context_twice_is_idempotent():
+    fleet = FleetTelemetry()
+    ctx = ObsContext(device_id="one")
+    fleet.register(ctx)
+    fleet.register(ctx)
+    assert len(fleet) == 1
+
+
+# ----------------------------------------------------------------------
+# Shard/merge correctness
+# ----------------------------------------------------------------------
+
+def test_merged_counters_equal_sum_of_per_device_values():
+    fleet = FleetTelemetry()
+    devices = [_loaded_device(f"dev{i}", writes=i + 1) for i in range(3)]
+    for device in devices:
+        fleet.register_device(device)
+    per = fleet.per_device_metrics()
+    merged = fleet.merged_metrics()
+    names = {name for snap in per.values() for name in snap.counters}
+    assert names, "workload produced no counters"
+    for name in names:
+        assert merged.counters[name] == sum(
+            snap.counters.get(name, 0) for snap in per.values()
+        )
+    # The per-device shards saw different workloads: isolation held.
+    assert per["dev0"].counters["vfs.write"] < per["dev2"].counters["vfs.write"]
+
+
+def test_merged_histograms_merge_bucketwise():
+    fleet = FleetTelemetry()
+    a = ObsContext(device_id="a")
+    b = ObsContext(device_id="b")
+    a.metrics.histogram("lat.op", boundaries=(1.0, 10.0)).observe(0.5)
+    b.metrics.histogram("lat.op", boundaries=(1.0, 10.0)).observe(5.0)
+    b.metrics.histogram("lat.op", boundaries=(1.0, 10.0)).observe(50.0)
+    fleet.register(a)
+    fleet.register(b)
+    merged = fleet.merged_metrics().histograms["lat.op"]
+    assert merged.count == 3
+    assert merged.counts == (1, 1, 1)
+    assert merged.total == pytest.approx(55.5)
+
+
+def test_labeled_series_equal_isolation_export():
+    """The fleet export's per-device series must be what each device
+    would export alone with the same label attached."""
+    fleet = FleetTelemetry()
+    devices = [_loaded_device(f"dev{i}", writes=2) for i in range(2)]
+    for device in devices:
+        fleet.register_device(device)
+    fleet_lines = set(fleet.to_prometheus_text().splitlines())
+    for device in devices:
+        solo = device.obs.metrics.to_prometheus_text(
+            labels={"device": device.device_id}
+        )
+        for line in solo.splitlines():
+            if line.startswith("#"):
+                continue  # headers are emitted once per family fleet-wide
+            assert line in fleet_lines, f"missing series line: {line}"
+
+
+def test_prometheus_families_are_contiguous():
+    """All samples of a family sit under one # TYPE header (the format
+    forbids interleaving families)."""
+    fleet = FleetTelemetry()
+    for device in (_loaded_device("a", 1), _loaded_device("b", 1)):
+        fleet.register_device(device)
+    current_family = None
+    for line in fleet.to_prometheus_text().splitlines():
+        if line.startswith("# TYPE "):
+            family = line.split()[2]
+            assert family != current_family
+            current_family = family
+        elif line and not line.startswith("#"):
+            name = line.split("{")[0].split(" ")[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if current_family and name == current_family + suffix:
+                    name = current_family
+            assert name == current_family, f"{name} outside its family block"
+
+
+# ----------------------------------------------------------------------
+# Cardinality cap
+# ----------------------------------------------------------------------
+
+def test_cardinality_cap_folds_overflow_devices():
+    fleet = FleetTelemetry(max_label_devices=2)
+    contexts = [ObsContext(device_id=f"dev{i}") for i in range(4)]
+    for index, ctx in enumerate(contexts):
+        ctx.metrics.count("ops", index + 1)  # 1, 2, 3, 4
+        fleet.register(ctx)
+    text = fleet.to_prometheus_text()
+    assert 'ops_total{device="dev0"} 1' in text
+    assert 'ops_total{device="dev1"} 2' in text
+    assert f'ops_total{{device="{OVERFLOW_DEVICE}"}} 7' in text  # 3 + 4
+    assert 'device="dev2"' not in text and 'device="dev3"' not in text
+    # The cap bounds label values, not data: totals are preserved.
+    assert fleet.merged_metrics().counters["ops"] == 10
+
+
+def test_cap_must_be_positive():
+    with pytest.raises(FleetError):
+        FleetTelemetry(max_label_devices=0)
+
+
+# ----------------------------------------------------------------------
+# Spans and device stamping
+# ----------------------------------------------------------------------
+
+def test_merged_spans_carry_their_device_id():
+    fleet = FleetTelemetry()
+    devices = [_loaded_device(f"dev{i}", writes=1) for i in range(2)]
+    for device in devices:
+        fleet.register_device(device)
+    spans = fleet.spans()
+    assert spans, "no spans recorded"
+    by_device = {span.device_id for span in spans}
+    assert by_device == {"dev0", "dev1"}
+    for span in spans:
+        assert span.to_dict()["device_id"] == span.device_id
+        assert span.trace_id is not None
+
+
+# ----------------------------------------------------------------------
+# Violations feed
+# ----------------------------------------------------------------------
+
+def test_violation_feed_is_ordered_by_seq_then_device():
+    from repro.core.audit import AuditLog
+
+    fleet = FleetTelemetry()
+    log_b = AuditLog(device_id="b")
+    log_a = AuditLog(device_id="a")
+    log_b.record_violation("S1", "b first")
+    log_b.record_violation("S2", "b second")
+    log_a.record_violation("S1", "a first")
+    fleet.register(ObsContext(device_id="b"), audit_log=log_b)
+    fleet.register(ObsContext(device_id="a"), audit_log=log_a)
+    feed = fleet.violations()
+    assert [(e.seq, e.device_id) for e in feed] == [(1, "a"), (1, "b"), (2, "b")]
+    assert [e.message for e in feed] == ["a first", "b first", "b second"]
+
+
+# ----------------------------------------------------------------------
+# fleet_health() determinism
+# ----------------------------------------------------------------------
+
+def _run_fleet(seed: int) -> str:
+    fleet = FleetTelemetry()
+    for index in range(2):
+        device = Device(maxoid_enabled=True, device_id=f"dev{index}")
+        device.obs.enable(sample_rate=0.5, sample_seed=seed)
+        device.obs.enable_profile()
+        device.install(AndroidManifest(package=APP))
+        device.install(AndroidManifest(package=INITIATOR))
+        api = device.spawn(APP, initiator=INITIATOR)
+        for step in range(6):
+            api.write_internal(f"f{step}.bin", b"y" * 32)
+        fleet.register_device(device)
+    return fleet.fleet_health().render()
+
+
+def test_fleet_health_is_byte_identical_for_the_same_seed():
+    assert _run_fleet(seed=42) == _run_fleet(seed=42)
+
+
+def test_fleet_health_counts_devices_spans_and_offenders():
+    fleet = FleetTelemetry()
+    device = _loaded_device("solo", writes=3)
+    device.obs.enable_profile()
+    api = device.spawn(APP, initiator=INITIATOR)
+    api.write_internal("profiled.bin", b"z")
+    fleet.register_device(device)
+    report = fleet.fleet_health(top_k=3)
+    assert len(report.devices) == 1
+    row = report.devices[0]
+    assert row.device_id == "solo"
+    assert row.spans_started > 0
+    assert report.total_spans == row.spans_started
+    assert len(report.top_latencies) <= 3
+    assert all(name.startswith("lat.") for name, _c, _m in report.top_latencies)
+    # Ranked by count descending.
+    counts = [count for _n, count, _m in report.top_latencies]
+    assert counts == sorted(counts, reverse=True)
+    # The default render never contains wall-clock values; verbose does.
+    assert "ms" not in report.render()
+    if report.top_latencies:
+        assert "mean=" in report.render(verbose=True)
+    data = report.to_dict()
+    assert data["total_spans"] == report.total_spans
+    assert data["devices"][0]["device_id"] == "solo"
+
+
+# ----------------------------------------------------------------------
+# Sampling determinism across devices
+# ----------------------------------------------------------------------
+
+def test_same_seed_samples_the_same_trace_roots():
+    def traced(seed: int):
+        ctx = ObsContext(device_id=f"s{seed}")
+        ctx.enable(sample_rate=0.3, sample_seed=seed)
+        kept = []
+        for index in range(40):
+            with ctx.tracer.span("op", i=index):
+                pass
+        for span in ctx.tracer.finished():
+            kept.append(span.attrs["i"])
+        return kept
+
+    assert traced(7) == traced(7)
+    assert traced(7) != traced(8)  # a different seed samples differently
+
+
+def test_sampled_out_roots_drop_descendants_too():
+    ctx = ObsContext(device_id="deep")
+    ctx.enable(sample_rate=0.0, sample_seed=1)  # drop everything
+    with ctx.tracer.span("root"):
+        with ctx.tracer.span("child"):
+            pass
+    assert ctx.tracer.finished() == []
+    assert ctx.tracer.sampled_out == 1  # one root, counted once
+    assert ctx.tracer.started == 0

@@ -1,0 +1,171 @@
+"""Per-device context isolation, including under the deterministic
+scheduler.
+
+Two devices recording concurrently must keep disjoint tracers, metric
+registries, provenance actor stacks, sinks and listeners — both when
+their flows run sequentially and when ``repro.sched`` interleaves them
+at every yield point (the scheduler swaps *every* live context's span
+and actor stacks per task, not just the default ``OBS`` ones).
+"""
+
+import pytest
+
+from repro.android.packages import AndroidManifest
+from repro.core.device import Device
+from repro.obs import OBS, ObsContext, obs_contexts
+from repro.sched import SCHED
+
+pytestmark = pytest.mark.trace
+
+APP = "com.iso.app"
+INITIATOR = "com.iso.initiator"
+
+
+def _device(device_id: str) -> Device:
+    device = Device(maxoid_enabled=True, device_id=device_id)
+    device.install(AndroidManifest(package=APP))
+    device.install(AndroidManifest(package=INITIATOR))
+    return device
+
+
+# ----------------------------------------------------------------------
+# Plain (unscheduled) isolation
+# ----------------------------------------------------------------------
+
+def test_devices_record_into_disjoint_contexts():
+    left = _device("left")
+    right = _device("right")
+    left.obs.enable()
+    right.obs.enable()
+    api = left.spawn(APP, initiator=INITIATOR)
+    api.write_internal("only-left.bin", b"L")
+    assert left.obs.tracer.started > 0
+    assert right.obs.tracer.started == 0
+    assert right.obs.metrics.snapshot().counters == {}
+    assert all(s.device_id == "left" for s in left.obs.spans())
+    left.obs.disable()
+    right.obs.disable()
+
+
+def test_bare_device_still_attaches_to_the_global_obs():
+    device = Device(maxoid_enabled=True)
+    assert device.obs is OBS
+    assert device.zygote.obs is OBS
+    assert device.binder.obs is OBS
+
+
+def test_named_device_contexts_are_registered_for_the_scheduler():
+    device = _device("registered")
+    assert device.obs in obs_contexts()
+
+
+def test_forked_processes_inherit_the_device_context():
+    device = _device("inherit")
+    api = device.spawn(APP, initiator=INITIATOR)
+    assert api.process.obs is device.obs
+    # The syscall layer resolves through the process too.
+    assert api.sys.obs is device.obs
+
+
+def test_capture_on_one_device_does_not_disturb_the_other():
+    left = _device("cap-left")
+    right = _device("cap-right")
+    right.obs.enable()
+    right_before = right.obs.tracer.started
+    with left.obs.capture(prov=True) as obs:
+        api = left.spawn(APP, initiator=INITIATOR)
+        api.write_internal("x.bin", b"x")
+        assert obs.tracer.started > 0
+    assert right.obs.tracer.started == right_before
+    assert not left.obs.enabled
+    assert right.obs.enabled  # untouched by the sibling's capture exit
+    right.obs.disable()
+
+
+# ----------------------------------------------------------------------
+# Interleaved under the deterministic scheduler (satellite: concurrent
+# capture isolation)
+# ----------------------------------------------------------------------
+
+def _traced_flow(device: Device, tag: str, steps: int = 4):
+    """One task body: a traced, provenance-armed delegate flow that
+    yields to the scheduler between operations."""
+
+    def fn():
+        api = device.spawn(APP, initiator=INITIATOR)
+        for index in range(steps):
+            SCHED.yield_point(f"{tag}.write.{index}")
+            api.write_internal(f"{tag}-{index}.bin", b"d")
+        return device.obs.tracer.started
+
+    return fn
+
+
+def test_interleaved_captures_keep_sinks_and_spans_separate():
+    left = _device("sched-left")
+    right = _device("sched-right")
+    with left.obs.capture(prov=True) as lobs, right.obs.capture(prov=True) as robs:
+        run = SCHED.run(
+            {
+                "left": _traced_flow(left, "L"),
+                "right": _traced_flow(right, "R"),
+            },
+            seed=11,
+        )
+        assert run.errors == {}
+        left_spans = lobs.spans()
+        right_spans = robs.spans()
+    assert left_spans and right_spans
+    assert {s.device_id for s in left_spans} == {"sched-left"}
+    assert {s.device_id for s in right_spans} == {"sched-right"}
+    # Both flows ran to completion with their own tracers armed.
+    assert run.results["left"] > 0 and run.results["right"] > 0
+    # No half-open spans leaked out of either context.
+    assert left.obs.tracer._stack == []
+    assert right.obs.tracer._stack == []
+    assert left.obs.provenance._actors == []
+    assert right.obs.provenance._actors == []
+
+
+def test_interleaved_runs_match_sequential_span_counts():
+    """Interleaving must not lose or cross-record spans: each device
+    records exactly what it records when it runs alone."""
+
+    def span_names(spans):
+        names = {}
+        for span in spans:
+            names[span.name] = names.get(span.name, 0) + 1
+        return names
+
+    solo = _device("solo-count")
+    with solo.obs.capture() as obs:
+        _traced_flow(solo, "S")()
+        expected = span_names(obs.spans())
+
+    left = _device("pair-left")
+    right = _device("pair-right")
+    with left.obs.capture() as lobs, right.obs.capture() as robs:
+        SCHED.run(
+            {
+                "left": _traced_flow(left, "S"),
+                "right": _traced_flow(right, "S"),
+            },
+            seed=3,
+        )
+        assert span_names(lobs.spans()) == expected
+        assert span_names(robs.spans()) == expected
+
+
+def test_scheduler_restores_the_driver_stacks_of_every_context():
+    ctx = ObsContext(device_id="driver")
+    ctx.enable()
+    with ctx.tracer.span("driver.outer"):
+        run = SCHED.run(
+            {"t": lambda: SCHED.yield_point("t.only")},
+            seed=0,
+        )
+        assert run.errors == {}
+        # Back on the driver: the outer span is still the open one.
+        assert ctx.tracer.current is not None
+        assert ctx.tracer.current.name == "driver.outer"
+    ctx.disable()
