@@ -1,0 +1,151 @@
+"""Baselined suppressions: known findings with written justifications.
+
+A baseline entry suppresses exactly one finding fingerprint and must say
+*why* the finding is acceptable (``justification``). Entries may carry an
+``expires`` date (ISO ``YYYY-MM-DD``): past that date the entry stops
+suppressing and the finding resurfaces — the mechanism for "acceptable
+for now, revisit by X". Stale entries (suppressing nothing on the
+current tree) are reported so the baseline cannot quietly accumulate
+dead weight.
+
+The file format (``analysis/BASELINE.json``) is reviewed like code: a
+suppression without a believable justification should not survive
+review.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "apply_baseline"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding."""
+
+    fingerprint: str
+    pass_name: str
+    rule: str
+    symbol: str
+    justification: str
+    added: str = ""  #: ISO date the suppression was introduced
+    expires: str = ""  #: ISO date after which it stops suppressing ("" = never)
+
+    def expired(self, today: _datetime.date) -> bool:
+        if not self.expires:
+            return False
+        return _datetime.date.fromisoformat(self.expires) < today
+
+    def to_dict(self) -> Dict[str, str]:
+        raw = {
+            "fingerprint": self.fingerprint,
+            "pass": self.pass_name,
+            "rule": self.rule,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+        if self.added:
+            raw["added"] = self.added
+        if self.expires:
+            raw["expires"] = self.expires
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, str]) -> "BaselineEntry":
+        return cls(
+            fingerprint=raw["fingerprint"],
+            pass_name=raw.get("pass", ""),
+            rule=raw.get("rule", ""),
+            symbol=raw.get("symbol", ""),
+            justification=raw.get("justification", ""),
+            added=raw.get("added", ""),
+            expires=raw.get("expires", ""),
+        )
+
+
+@dataclass
+class Baseline:
+    """The committed suppression set."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text())
+        version = raw.get("schema", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported baseline schema {version!r}")
+        return cls(entries=[BaselineEntry.from_dict(e) for e in raw.get("suppressions", [])])
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "suppressions": [e.to_dict() for e in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def entry_for(self, fingerprint: str) -> Optional[BaselineEntry]:
+        for entry in self.entries:
+            if entry.fingerprint == fingerprint:
+                return entry
+        return None
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str, added: str
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=f.fingerprint,
+                    pass_name=f.pass_name,
+                    rule=f.rule,
+                    symbol=f.symbol,
+                    justification=justification,
+                    added=added,
+                )
+                for f in findings
+            ]
+        )
+
+
+@dataclass
+class BaselineResult:
+    """The outcome of filtering findings through a baseline."""
+
+    new: List[Finding]  #: findings with no live suppression — these fail the run
+    suppressed: List[Tuple[Finding, BaselineEntry]]
+    resurfaced: List[Tuple[Finding, BaselineEntry]]  #: suppression expired
+    stale: List[BaselineEntry]  #: entries matching nothing on this tree
+
+
+def apply_baseline(
+    findings: Iterable[Finding],
+    baseline: Optional[Baseline],
+    today: _datetime.date,
+) -> BaselineResult:
+    result = BaselineResult(new=[], suppressed=[], resurfaced=[], stale=[])
+    matched: set = set()
+    for finding in findings:
+        entry = baseline.entry_for(finding.fingerprint) if baseline else None
+        if entry is None:
+            result.new.append(finding)
+            continue
+        matched.add(entry.fingerprint)
+        if entry.expired(today):
+            result.resurfaced.append((finding, entry))
+            result.new.append(finding)
+        else:
+            result.suppressed.append((finding, entry))
+    if baseline is not None:
+        result.stale = [e for e in baseline.entries if e.fingerprint not in matched]
+    return result

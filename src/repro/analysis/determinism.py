@@ -1,0 +1,193 @@
+"""Determinism lint: keep ambient nondeterminism out of the simulation.
+
+The replay contract (DESIGN §8) is byte-identical: same seed, same
+schedule digest, same provenance ledger. Any ambient entropy source —
+wall clock, OS randomness, the process-global ``random`` state, hash-
+order iteration feeding a digest — silently voids that contract. This
+pass forbids them inside ``src/repro/``:
+
+- ``wall-clock``    — ``time.time()/monotonic()/perf_counter()``,
+  ``datetime.now()/utcnow()``, ``date.today()``; simulated components
+  must use the virtual clock / scheduler step counter instead.
+- ``unseeded-random`` — ``random.Random()`` constructed with no seed.
+- ``global-random``  — module-level ``random.random()/randint()/...``
+  which all share the process-global, ambient-seeded generator.
+- ``entropy``        — ``os.urandom``, ``uuid.uuid4``, ``secrets.*``.
+- ``set-iteration-digest`` — iterating a ``set(...)`` / set literal
+  inside a digest-computing function without ``sorted(...)``: set
+  iteration order depends on insertion history and hash seeds, so the
+  digest stops being a pure function of the simulated state.
+
+Genuinely-intentional uses (e.g. ``perf_counter`` in the profiling
+harness, which measures the *host*, not the simulation) are suppressed
+via the committed baseline with a written justification — never by
+weakening the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.ir import CodeIndex, FunctionInfo, ModuleIndex, dotted
+
+__all__ = ["check_determinism"]
+
+_WALL_CLOCK: Set[Tuple[str, str]] = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+_GLOBAL_RANDOM_FNS: Set[str] = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss", "betavariate",
+}
+
+_DIGEST_MARKERS: Set[str] = {"sha256", "sha1", "md5", "blake2b", "blake2s", "digest", "hexdigest"}
+
+
+def _enclosing_functions(module: ModuleIndex) -> Dict[int, FunctionInfo]:
+    """Map id(node) -> the innermost indexed function containing it."""
+    owner: Dict[int, FunctionInfo] = {}
+    for fn in module.functions.values():
+        for node in ast.walk(fn.node):
+            owner[id(node)] = fn  # later (inner) functions overwrite outer
+    return owner
+
+
+def _symbol_for(node: ast.AST, owner: Dict[int, FunctionInfo]) -> str:
+    fn = owner.get(id(node))
+    return fn.qualname if fn is not None else "<module>"
+
+
+def _is_digest_fn(fn: FunctionInfo) -> bool:
+    if "digest" in fn.name.lower():
+        return True
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            chain = dotted(node.func)
+            if chain is not None and chain[-1] in _DIGEST_MARKERS:
+                return True
+    return False
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted(node.func)
+        return chain == ("set",) or (chain is not None and chain[-1] == "set")
+    return False
+
+
+def check_determinism(
+    index: CodeIndex,
+    modules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Every ambient-nondeterminism use inside the indexed tree."""
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+
+    def emit(
+        rule: str,
+        module: ModuleIndex,
+        symbol: str,
+        line: int,
+        message: str,
+        key: str,
+    ) -> None:
+        finding = Finding(
+            pass_name="determinism",
+            rule=rule,
+            severity="error",
+            module=module.name,
+            symbol=symbol,
+            file=str(module.path),
+            line=line,
+            message=message,
+            data=(("key", key),),
+        )
+        if finding.fingerprint in seen:
+            return  # one finding per (symbol, source) — lines may repeat
+        seen.add(finding.fingerprint)
+        findings.append(finding)
+
+    wanted = set(modules) if modules is not None else None
+    for name in sorted(index.modules):
+        if wanted is not None and name not in wanted:
+            continue
+        module = index.modules[name]
+        owner = _enclosing_functions(module)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted(node.func)
+            if chain is None:
+                continue
+            symbol = _symbol_for(node, owner)
+            source = ".".join(chain)
+
+            if len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK:
+                emit(
+                    "wall-clock", module, symbol, node.lineno,
+                    f"ambient wall-clock read {source}() — simulated time must "
+                    "come from the virtual clock / scheduler step counter",
+                    source,
+                )
+            elif chain[-1] == "Random" and not node.args and not node.keywords:
+                emit(
+                    "unseeded-random", module, symbol, node.lineno,
+                    f"{source}() constructed without a seed — replay requires "
+                    "every generator to be derived from the run seed",
+                    source,
+                )
+            elif chain == ("random", chain[-1]) and chain[-1] in _GLOBAL_RANDOM_FNS:
+                emit(
+                    "global-random", module, symbol, node.lineno,
+                    f"module-global {source}() uses the ambient-seeded process "
+                    "RNG — thread a seeded random.Random through instead",
+                    source,
+                )
+            elif chain[-1] == "urandom" and "os" in chain:
+                emit(
+                    "entropy", module, symbol, node.lineno,
+                    f"{source}() reads OS entropy — derive bytes from the run "
+                    "seed instead",
+                    source,
+                )
+            elif chain[-1] == "uuid4" or chain[0] == "secrets":
+                emit(
+                    "entropy", module, symbol, node.lineno,
+                    f"{source}() is ambient entropy — derive identifiers from "
+                    "the run seed instead",
+                    source,
+                )
+
+        # Set iteration inside digest paths.
+        for fn in module.functions.values():
+            if not _is_digest_fn(fn):
+                continue
+            for node in ast.walk(fn.node):
+                iter_expr: Optional[ast.AST] = None
+                if isinstance(node, ast.For):
+                    iter_expr = node.iter
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                    iter_expr = node.generators[0].iter
+                if iter_expr is None or not _is_set_expr(iter_expr):
+                    continue
+                emit(
+                    "set-iteration-digest", module, fn.qualname, node.lineno,
+                    "iteration over a set inside a digest path depends on hash "
+                    "order — wrap the set in sorted(...) first",
+                    f"{fn.qualname}:set-iter",
+                )
+    return findings

@@ -1,0 +1,484 @@
+"""Static lockset race detector (Eraser/RacerD-style, cooperative flavor).
+
+The dynamic detector (``SCHED.race_candidates()``) flags resources two
+tasks touched with disjoint *held-lock* sets — but only for schedules a
+sweep happened to run. This pass computes the same thing statically:
+
+1. **Shared state**: for each registered kernel singleton class, the
+   mutable attributes its ``__init__`` creates (``self._x = {}`` / ``[]``
+   / ``set()`` / comprehensions) are the abstract shared resources.
+2. **Locksets**: walking each public method (helpers inlined, depth
+   bounded), a ``with``-block over ``<lock>.read()`` / ``<lock>.write()``
+   or the syscall layer's ``self._io_locks(...)`` helper (which acquires
+   the shared ``"ns"`` namespace lock and the resolved filesystem's
+   rwlock) extends the lockset for its body.
+3. **Accesses**: every read/write of a shared attribute is recorded with
+   the lockset held at that point. Statements dominated by the
+   scheduler-off fallback (the ``if SCHED.enabled: ...; return`` idiom's
+   tail) are skipped — they only run single-threaded.
+4. **Race pairs**: a resource written by one entry point and touched by
+   a *different* entry point with a disjoint lockset is reported, the
+   exact analogue of the dynamic detector's flag.
+
+Soundness caveats (documented in DESIGN §10): the pass is intraprocedural
+plus bounded same-class/-module inlining, so locks taken by a *caller*
+(e.g. the syscall layer wrapping aufs mutations in the fs rwlock) are
+invisible — those report as races and carry written false-positive
+justifications in the baseline. Conversely, accesses with no yield point
+between check and act are atomic under the cooperative scheduler even
+with an empty lockset; the pass deliberately still reports them (the
+atomicity argument lives in the baseline note, where a later edit that
+adds a yield point will void it loudly via the cross-check test).
+
+The planted ``binder-guard-race`` TOCTOU (``IpcGuard`` registry rebuild
+vs. fail-open policy lookup) is the positive control: this pass must
+report ``IpcGuard._instance_contexts`` with the ``binder-guard-race``
+tag, and the finding cross-checks against the dynamic detector's
+``guard-registry`` resource in the interleave sweep.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.ir import CodeIndex, FunctionInfo, ModuleIndex, dotted
+
+__all__ = [
+    "Access",
+    "KNOWN_RACES",
+    "SHARED_SINGLETONS",
+    "SharedClass",
+    "check_locksets",
+    "collect_accesses",
+    "mutable_attrs",
+]
+
+
+@dataclass(frozen=True)
+class SharedClass:
+    """One kernel singleton whose instances are shared across tasks."""
+
+    module: str
+    cls: str
+    note: str = ""
+
+
+#: The registry: kernel objects reachable from more than one scheduled
+#: task (device-wide singletons and namespace-shared structures).
+SHARED_SINGLETONS: Tuple[SharedClass, ...] = (
+    SharedClass("repro.kernel.mounts", "MountNamespace",
+                "mount table shared across unshare() clones"),
+    SharedClass("repro.kernel.aufs", "AufsMount",
+                "union mounts shared by every process resolving into them"),
+    SharedClass("repro.kernel.binder", "BinderDriver", "device-wide IPC router"),
+    SharedClass("repro.core.ipc_guard", "IpcGuard", "device-wide delegate guard"),
+    SharedClass("repro.android.services.clipboard", "ClipboardService",
+                "per-domain clipboards shared by every process"),
+    SharedClass("repro.android.am", "ActivityManagerService",
+                "device-wide invocation bookkeeping"),
+)
+
+#: Statically-found resources that map onto *planted* dynamic races:
+#: (class, attr) -> (planted bug-mode name, dynamic race_candidates
+#: resource annotation). The positive control the tests pin.
+KNOWN_RACES: Dict[Tuple[str, str], Tuple[str, str]] = {
+    ("IpcGuard", "_instance_contexts"): ("binder-guard-race", "guard-registry"),
+}
+
+#: Method names that mutate their receiver container in place.
+_MUTATORS: FrozenSet[str] = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "clear", "pop",
+        "popitem", "setdefault", "remove", "discard",
+    }
+)
+
+#: Kernel-layer lock helpers modeled by effect instead of inlined:
+#: name -> the abstract lock names a ``with self.<name>(...)`` acquires.
+_LOCK_HELPERS: Dict[str, FrozenSet[str]] = {
+    "_io_locks": frozenset({"ns", "fs"}),
+}
+
+_MUTABLE_CALLS = {"dict", "list", "set", "defaultdict", "OrderedDict", "deque", "Counter"}
+
+
+@dataclass(frozen=True)
+class Access:
+    """One statically-observed access to a shared attribute."""
+
+    entry: str  #: entry-point qualname, e.g. "IpcGuard.binder_policy"
+    cls: str
+    attr: str
+    rw: str  #: "r" | "w"
+    locks: FrozenSet[str]
+    file: str
+    line: int
+
+    @property
+    def resource(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+# ----------------------------------------------------------------------
+# Shared-attribute discovery
+# ----------------------------------------------------------------------
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted(node.func)
+        return chain is not None and chain[-1] in _MUTABLE_CALLS
+    if isinstance(node, ast.IfExp):
+        return _is_mutable_value(node.body) or _is_mutable_value(node.orelse)
+    return False
+
+
+def mutable_attrs(module: ModuleIndex, cls: str) -> Set[str]:
+    """Attributes ``__init__`` binds to fresh mutable containers."""
+    init = module.functions.get(f"{cls}.__init__")
+    if init is None:
+        return set()
+    found: Set[str] = set()
+    for node in ast.walk(init.node):
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and value is not None
+            and _is_mutable_value(value)
+        ):
+            found.add(target.attr)
+    return found
+
+
+# ----------------------------------------------------------------------
+# Lock modeling
+# ----------------------------------------------------------------------
+
+def _sched_enabled_test(test: ast.AST) -> bool:
+    chain = dotted(test)
+    return (
+        chain is not None
+        and chain[-1] == "enabled"
+        and any("sched" in part.lower() for part in chain[:-1])
+    )
+
+
+def _terminates(stmts: Sequence[ast.stmt]) -> bool:
+    """Does this block always leave the function (return/raise)?"""
+    if not stmts:
+        return False
+    last = stmts[-1]
+    if isinstance(last, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(last, ast.With):
+        return _terminates(last.body)
+    if isinstance(last, ast.If):
+        return _terminates(last.body) and _terminates(last.orelse)
+    return False
+
+
+def _acquired_locks(item: ast.withitem, cls: str) -> FrozenSet[str]:
+    expr = item.context_expr
+    if not isinstance(expr, ast.Call):
+        return frozenset()
+    chain = dotted(expr.func)
+    if chain is None:
+        return frozenset()
+    if chain[-1] in _LOCK_HELPERS and chain[0] in ("self", "cls"):
+        return _LOCK_HELPERS[chain[-1]]
+    if chain[-1] in ("read", "write") and any("lock" in p.lower() for p in chain[:-1]):
+        owner = [p for p in chain[:-1] if p not in ("self", "cls")]
+        name = ".".join(owner) or "lock"
+        # Anchor self-attribute locks to the class so the same lock gets
+        # the same abstract name from every method of that class.
+        if chain[0] in ("self", "cls"):
+            name = f"{cls}.{name}"
+        return frozenset({name})
+    return frozenset()
+
+
+# ----------------------------------------------------------------------
+# The walker
+# ----------------------------------------------------------------------
+
+class _LocksetWalker:
+    """Flow-sensitive (for locks) walk of one entry point."""
+
+    def __init__(
+        self,
+        index: CodeIndex,
+        cls: str,
+        attrs: Set[str],
+        entry: str,
+        depth: int,
+    ) -> None:
+        self.index = index
+        self.cls = cls
+        self.attrs = attrs
+        self.entry = entry
+        self.depth = depth
+        self.accesses: List[Access] = []
+        self._inlined: Set[str] = set()
+
+    # -- statements ------------------------------------------------------
+
+    def walk(self, fn: FunctionInfo) -> None:
+        self._inlined.add(fn.qualname)
+        self._visit_block(fn.node.body, fn, frozenset(), self.depth)
+
+    def _visit_block(
+        self,
+        stmts: Sequence[ast.stmt],
+        fn: FunctionInfo,
+        held: FrozenSet[str],
+        depth: int,
+    ) -> None:
+        for position, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.If) and _sched_enabled_test(stmt.test):
+                # The scheduled branch is the concurrent world; the
+                # else/fallthrough only runs single-threaded, where no
+                # interleaving exists — skip it entirely.
+                self._visit_block(stmt.body, fn, held, depth)
+                if _terminates(stmt.body):
+                    return
+                continue
+            self._visit_stmt(stmt, fn, held, depth)
+
+    def _visit_stmt(
+        self, stmt: ast.stmt, fn: FunctionInfo, held: FrozenSet[str], depth: int
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.With):
+            acquired: FrozenSet[str] = frozenset()
+            for item in stmt.items:
+                acquired = acquired | _acquired_locks(item, self.cls)
+                if not _acquired_locks(item, self.cls):
+                    self._scan_expr(item.context_expr, fn, held, depth)
+            self._visit_block(stmt.body, fn, held | acquired, depth)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._scan_expr(stmt.test, fn, held, depth)
+            self._visit_block(stmt.body, fn, held, depth)
+            self._visit_block(stmt.orelse, fn, held, depth)
+            return
+        if isinstance(stmt, ast.For):
+            self._scan_expr(stmt.iter, fn, held, depth)
+            self._visit_block(stmt.body, fn, held, depth)
+            self._visit_block(stmt.orelse, fn, held, depth)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body, fn, held, depth)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body, fn, held, depth)
+            self._visit_block(stmt.orelse, fn, held, depth)
+            self._visit_block(stmt.finalbody, fn, held, depth)
+            return
+        # Leaf statements: scan their expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.expr,)):
+                self._scan_expr(child, fn, held, depth)
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            self._record_write_targets(stmt, fn, held)
+
+    # -- expressions -----------------------------------------------------
+
+    def _record_write_targets(
+        self, stmt: ast.stmt, fn: FunctionInfo, held: FrozenSet[str]
+    ) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            attr_node = target
+            if isinstance(attr_node, (ast.Subscript,)):
+                attr_node = attr_node.value
+            if (
+                isinstance(attr_node, ast.Attribute)
+                and isinstance(attr_node.value, ast.Name)
+                and attr_node.value.id == "self"
+                and attr_node.attr in self.attrs
+            ):
+                self._record(attr_node.attr, "w", held, fn, attr_node.lineno)
+
+    def _scan_expr(
+        self, expr: ast.expr, fn: FunctionInfo, held: FrozenSet[str], depth: int
+    ) -> None:
+        consumed: Set[int] = set()
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            # In-place mutator calls: self.<attr>.append(...) etc.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"
+                and func.value.attr in self.attrs
+            ):
+                self._record(func.value.attr, "w", held, fn, node.lineno)
+                consumed.add(id(func.value))
+            # Helper inlining (same class / same module), lockset carried in.
+            if depth > 0:
+                callee = self.index.resolve_call(fn, node)
+                if (
+                    callee is not None
+                    and callee.qualname not in self._inlined
+                    and callee.name not in _LOCK_HELPERS
+                ):
+                    self._inlined.add(callee.qualname)
+                    self._visit_block(callee.node.body, callee, held, depth - 1)
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Attribute)
+                and id(node) not in consumed
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.attrs
+                and isinstance(node.ctx, ast.Load)
+            ):
+                self._record(node.attr, "r", held, fn, node.lineno)
+
+    def _record(
+        self, attr: str, rw: str, held: FrozenSet[str], fn: FunctionInfo, line: int
+    ) -> None:
+        self.accesses.append(
+            Access(
+                entry=self.entry,
+                cls=self.cls,
+                attr=attr,
+                rw=rw,
+                locks=held,
+                file=str(fn.module.path),
+                line=line,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# The pass
+# ----------------------------------------------------------------------
+
+def collect_accesses(
+    index: CodeIndex,
+    singletons: Iterable[SharedClass] = SHARED_SINGLETONS,
+    depth: int = 3,
+) -> List[Access]:
+    """Every shared-attribute access, per entry point, with locksets."""
+    accesses: List[Access] = []
+    for spec in singletons:
+        module = index.modules.get(spec.module)
+        if module is None:
+            continue
+        attrs = mutable_attrs(module, spec.cls)
+        if not attrs:
+            continue
+        for fn in module.methods_of(spec.cls):
+            if fn.name.startswith("_"):
+                continue  # entry points are the public surface
+            walker = _LocksetWalker(index, spec.cls, attrs, fn.qualname, depth)
+            walker.walk(fn)
+            accesses.extend(walker.accesses)
+    return accesses
+
+
+def _dedupe(accesses: Iterable[Access]) -> List[Access]:
+    seen: Set[Tuple[str, str, str, str, FrozenSet[str]]] = set()
+    out: List[Access] = []
+    for access in accesses:
+        key = (access.entry, access.cls, access.attr, access.rw, access.locks)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(access)
+    return out
+
+
+def check_locksets(
+    index: CodeIndex,
+    singletons: Iterable[SharedClass] = SHARED_SINGLETONS,
+    depth: int = 3,
+) -> List[Finding]:
+    """One finding per shared resource with a disjoint-lockset write pair."""
+    accesses = _dedupe(collect_accesses(index, singletons, depth))
+    by_resource: Dict[str, List[Access]] = {}
+    for access in accesses:
+        by_resource.setdefault(access.resource, []).append(access)
+
+    findings: List[Finding] = []
+    for resource in sorted(by_resource):
+        group = by_resource[resource]
+        pairs: List[Tuple[Access, Access]] = []
+        for writer in group:
+            if writer.rw != "w":
+                continue
+            for other in group:
+                if other.entry == writer.entry:
+                    continue
+                if writer.locks & other.locks:
+                    continue
+                pair = (writer, other) if writer.entry <= other.entry else (other, writer)
+                if pair not in pairs:
+                    pairs.append(pair)
+        if not pairs:
+            continue
+        pairs.sort(key=lambda p: (p[0].entry, p[1].entry))
+        first = pairs[0]
+        cls, attr = resource.split(".", 1)
+        known = KNOWN_RACES.get((cls, attr))
+        entries = sorted({e for pair in pairs for e in (pair[0].entry, pair[1].entry)})
+        detail = "; ".join(
+            f"{a.entry}:{a.line}[{a.rw},{{{','.join(sorted(a.locks)) or '-'}}}] vs "
+            f"{b.entry}:{b.line}[{b.rw},{{{','.join(sorted(b.locks)) or '-'}}}]"
+            for a, b in pairs[:4]
+        )
+        data: List[Tuple[str, str]] = [
+            ("key", resource),
+            ("entries", ",".join(entries)),
+            ("pairs", str(len(pairs))),
+        ]
+        if known is not None:
+            data.append(("planted", known[0]))
+            data.append(("dynamic_resource", known[1]))
+        findings.append(
+            Finding(
+                pass_name="locksets",
+                rule="lockset-race",
+                severity="warning",
+                module=first[0].file and _module_of(index, first[0].file) or "",
+                symbol=resource,
+                file=first[0].file,
+                line=min(first[0].line, first[1].line),
+                message=(
+                    f"writes to shared {resource} reachable from distinct entry "
+                    f"points with disjoint locksets ({len(pairs)} pair(s)): {detail}"
+                    + (f" [matches planted {known[0]}]" if known else "")
+                ),
+                data=tuple(sorted(data)),
+            )
+        )
+    return findings
+
+
+def _module_of(index: CodeIndex, path: str) -> str:
+    for name, module in index.modules.items():
+        if str(module.path) == path:
+            return name
+    return ""

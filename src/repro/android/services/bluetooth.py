@@ -7,20 +7,41 @@ channel Maxoid cannot label, so it is treated like the network.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.core.netguard import assert_not_delegate
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel.proc import Process
+from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 
 class BluetoothService:
     """Records sends so experiments can audit the egress surface."""
 
-    def __init__(self, maxoid_enabled: bool = True) -> None:
+    def __init__(self, maxoid_enabled: bool = True, obs: Optional[Any] = None) -> None:
         self._maxoid = maxoid_enabled
         self.sent: List[Tuple[str, bytes]] = []  # (sender context, payload)
+        # The owning device's observability context.
+        self.obs = obs if obs is not None else _OBS
 
     def send(self, process: Process, device: str, payload: bytes) -> None:
+        if self.obs.enabled:
+            with self.obs.tracer.span(
+                "bt.send", pid=process.pid, context=str(process.context), device=device
+            ):
+                self.obs.metrics.count("bt.sends")
+                self._send_impl(process, device, payload)
+            return
+        self._send_impl(process, device, payload)
+
+    def _send_impl(self, process: Process, device: str, payload: bytes) -> None:
+        if _FAULTS.enabled:
+            _FAULTS.hit("bt.send", context=str(process.context), device=device)
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "bt.send", device=device, resource="bt-egress-log", rw="w"
+            )
         if self._maxoid:
             assert_not_delegate(process.context, "bluetooth")
         self.sent.append((str(process.context), payload))

@@ -40,12 +40,30 @@ class ClipboardService:
         return self._MAIN
 
     def set_text(self, process: Process, text: str) -> None:
+        # No sched yield point here on purpose: clipboard mutations carry
+        # no preemption point, which keeps them atomic under the
+        # cooperative scheduler (see the lockset baseline justification).
+        if self.obs.enabled:
+            with self.obs.tracer.span("clip.set", pid=process.pid):
+                self.obs.metrics.count("clip.sets")
+                self._set_text_impl(process, text)
+            return
+        self._set_text_impl(process, text)
+
+    def _set_text_impl(self, process: Process, text: str) -> None:
         domain = self._domain(process)
         self._clips[domain] = text
         if self.obs.prov:
             self.obs.provenance.clip_set(process.pid, str(process.context), domain)
 
     def get_text(self, process: Process) -> Optional[str]:
+        if self.obs.enabled:
+            with self.obs.tracer.span("clip.get", pid=process.pid):
+                self.obs.metrics.count("clip.gets")
+                return self._get_text_impl(process)
+        return self._get_text_impl(process)
+
+    def _get_text_impl(self, process: Process) -> Optional[str]:
         domain = self._domain(process)
         if domain not in self._clips:
             # A delegate's first paste sees the pre-confinement clipboard

@@ -8,19 +8,24 @@ Browser incognito downloads.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.android.content.downloads import DOWNLOADS_URI, STATUS_SUCCESS
 from repro.android.content.provider import ContentResolver, ContentValues
 from repro.android.uri import Uri
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel.proc import Process
+from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 
 class DownloadManager:
     """Enqueue and query downloads on behalf of an app process."""
 
-    def __init__(self, resolver: ContentResolver) -> None:
+    def __init__(self, resolver: ContentResolver, obs: Optional[Any] = None) -> None:
         self._resolver = resolver
+        # The owning device's observability context.
+        self.obs = obs if obs is not None else _OBS
 
     def enqueue(
         self,
@@ -36,6 +41,31 @@ class DownloadManager:
         ``volatile=True`` is the Maxoid extension: the download record and
         file land in the caller's volatile state (incognito mode).
         """
+        if self.obs.enabled:
+            with self.obs.tracer.span(
+                "dm.enqueue", pid=process.pid, volatile=volatile
+            ):
+                self.obs.metrics.count("dm.enqueues")
+                return self._enqueue_impl(
+                    process, url, title, destination, volatile, headers
+                )
+        return self._enqueue_impl(process, url, title, destination, volatile, headers)
+
+    def _enqueue_impl(
+        self,
+        process: Process,
+        url: str,
+        title: str,
+        destination: Optional[str],
+        volatile: bool,
+        headers: Optional[Dict[str, str]],
+    ) -> int:
+        if _FAULTS.enabled:
+            _FAULTS.hit("dm.enqueue", context=str(process.context), url=url)
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "dm.enqueue", url=url, resource="downloads-table", rw="w"
+            )
         values = ContentValues(
             {"uri": url, "title": title},
             is_volatile=volatile,

@@ -6,20 +6,41 @@ from sending data via ... SMS services."
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.core.netguard import assert_not_delegate
+from repro.faults import FAULTS as _FAULTS
 from repro.kernel.proc import Process
+from repro.obs import OBS as _OBS
+from repro.sched import SCHED as _SCHED
 
 
 class TelephonyService:
     """SMS out-channel; records messages for egress auditing."""
 
-    def __init__(self, maxoid_enabled: bool = True) -> None:
+    def __init__(self, maxoid_enabled: bool = True, obs: Optional[Any] = None) -> None:
         self._maxoid = maxoid_enabled
         self.messages: List[Tuple[str, str, str]] = []  # (context, number, body)
+        # The owning device's observability context.
+        self.obs = obs if obs is not None else _OBS
 
     def send_sms(self, process: Process, number: str, body: str) -> None:
+        if self.obs.enabled:
+            with self.obs.tracer.span(
+                "sms.send", pid=process.pid, context=str(process.context)
+            ):
+                self.obs.metrics.count("sms.sends")
+                self._send_sms_impl(process, number, body)
+            return
+        self._send_sms_impl(process, number, body)
+
+    def _send_sms_impl(self, process: Process, number: str, body: str) -> None:
+        if _FAULTS.enabled:
+            _FAULTS.hit("sms.send", context=str(process.context), number=number)
+        if _SCHED.enabled:
+            _SCHED.yield_point(
+                "sms.send", number=number, resource="sms-egress-log", rw="w"
+            )
         if self._maxoid:
             assert_not_delegate(process.context, "sms")
         self.messages.append((str(process.context), number, body))

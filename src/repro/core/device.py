@@ -142,9 +142,9 @@ class Device:
         for provider in (self.user_dictionary, self.downloads, self.media, self.contacts):
             provider.proxy.bind_obs(self.obs)
         self.clipboard = ClipboardService(maxoid_enabled, obs=self.obs)
-        self.bluetooth = BluetoothService(maxoid_enabled)
-        self.telephony = TelephonyService(maxoid_enabled)
-        self.download_manager = DownloadManager(self.resolver)
+        self.bluetooth = BluetoothService(maxoid_enabled, obs=self.obs)
+        self.telephony = TelephonyService(maxoid_enabled, obs=self.obs)
+        self.download_manager = DownloadManager(self.resolver, obs=self.obs)
         self.media_scanner = MediaScanner(self.resolver)
         # -- Maxoid hooks ---------------------------------------------------------
         self.maxoid_manifests: Dict[str, MaxoidManifest] = {}

@@ -89,6 +89,9 @@ register_point("vol.commit", "volatile file commit, before journaling")
 register_point("vol.commit.journal", "inside the journal-entry write (torn entry)")
 register_point("vol.commit.apply", "between journal write and destination write")
 register_point("vol.commit.truncate", "between destination write and journal clear")
+register_point("bt.send", "bluetooth egress, before the delegate guard")
+register_point("sms.send", "telephony SMS egress, before the delegate guard")
+register_point("dm.enqueue", "download-manager enqueue, before the provider insert")
 
 
 class FaultPolicy:

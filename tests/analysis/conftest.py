@@ -1,0 +1,18 @@
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.ir import CodeIndex
+
+#: The installed package root the CLI scans by default.
+TREE_ROOT = Path(repro.__file__).resolve().parent
+
+#: The committed baseline the CI lane runs against.
+BASELINE_PATH = Path(__file__).resolve().parent.parent.parent / "analysis" / "BASELINE.json"
+
+
+@pytest.fixture(scope="session")
+def tree_index() -> CodeIndex:
+    """One shared AST index over the live ``src/repro`` tree."""
+    return CodeIndex.build(TREE_ROOT, package="repro")

@@ -1,0 +1,179 @@
+"""Planted-defect fixture sources for the static-analysis tests.
+
+Each fixture is written to a temp package and indexed with
+:meth:`CodeIndex.build` — the analysis never imports them, so the code
+only has to parse, not run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.ir import CodeIndex
+
+#: A kernel-style boundary carrying the full quartet, split across the
+#: ``public -> _impl -> _body`` helper chain the inliner must follow.
+GATED_OK = '''
+from fake import FAULTS as _FAULTS, SCHED as _SCHED
+
+
+class GoodGate:
+    def write(self, path, data):
+        if self.obs.enabled:
+            with self.obs.tracer.span("good.write", path=path):
+                self.obs.metrics.count("good.writes")
+                return self._write_impl(path, data)
+        return self._write_impl(path, data)
+
+    def _write_impl(self, path, data):
+        if _FAULTS.enabled:
+            _FAULTS.hit("good.write", path=path)
+        if _SCHED.enabled:
+            _SCHED.yield_point("good.write", resource=path, rw="w")
+        return self._write_body(path, data)
+
+    def _write_body(self, path, data):
+        self.store[path] = data
+        if self.obs.prov:
+            self.obs.provenance.file_write(path)
+        return len(data)
+'''
+
+#: The same boundary with every quartet member removed.
+GATED_BARE = '''
+class BareGate:
+    def write(self, path, data):
+        self.store[path] = data
+        return len(data)
+'''
+
+#: One member missing at a time (the other three present).
+def gated_missing(member: str) -> str:
+    lines = {
+        "obs": (
+            "        if self.obs.enabled:\n"
+            "            with self.obs.tracer.span('one.write'):\n"
+            "                self.obs.metrics.count('one.writes')\n"
+        ),
+        "faults": (
+            "        if _FAULTS.enabled:\n"
+            "            _FAULTS.hit('one.write', path=path)\n"
+        ),
+        "sched": (
+            "        if _SCHED.enabled:\n"
+            "            _SCHED.yield_point('one.write', resource=path, rw='w')\n"
+        ),
+        "prov": (
+            "        if self.obs.prov:\n"
+            "            self.obs.provenance.file_write(path)\n"
+        ),
+    }
+    body = "".join(text for name, text in lines.items() if name != member)
+    return (
+        "from fake import FAULTS as _FAULTS, SCHED as _SCHED\n\n\n"
+        "class OneGate:\n"
+        "    def write(self, path, data):\n"
+        f"{body}"
+        "        self.store[path] = data\n"
+        "        return len(data)\n"
+    )
+
+
+#: A TOCTOU mirror of the planted IpcGuard race: one entry point rebuilds
+#: a registry without locks, another reads it — plus a properly locked
+#: sibling attribute as the negative control, and a scheduler-off
+#: fallback write that must NOT be reported.
+RACY = '''
+from fake import SCHED as _SCHED
+
+
+class RacyGuard:
+    def __init__(self):
+        self._registry = {}
+        self._audit = []
+        self._locked_table = {}
+        self.lock = RWLock("racy")
+
+    def rebuild(self, entries):
+        staged = dict(self._registry)
+        staged.update(entries)
+        self._registry.clear()
+        if _SCHED.enabled:
+            _SCHED.yield_point("racy.rebuild", resource="registry", rw="w")
+        self._registry.update(staged)
+
+    def decide(self, key):
+        self._audit.append(key)
+        return self._registry.get(key, True)
+
+    def locked_put(self, key, value):
+        with self.lock.write():
+            self._locked_table[key] = value
+
+    def locked_get(self, key):
+        with self.lock.read():
+            return self._locked_table.get(key)
+
+    def fallback_put(self, key, value):
+        if _SCHED.enabled:
+            with self.lock.write():
+                self._locked_table[key] = value
+            return
+        self._locked_table[key] = value
+'''
+
+#: Every determinism rule violated once, plus compliant twins.
+NONDET = '''
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def bad_clock():
+    return time.time()
+
+
+def bad_unseeded():
+    return random.Random()
+
+
+def good_seeded(seed):
+    return random.Random(seed)
+
+
+def bad_global_random():
+    return random.randint(0, 10)
+
+
+def bad_entropy():
+    return os.urandom(8) + uuid.uuid4().bytes
+
+
+def bad_now():
+    return datetime.now()
+
+
+def bad_digest(items):
+    acc = []
+    for item in set(items):
+        acc.append(item)
+    return sha256(repr(acc)).hexdigest()
+
+
+def good_digest(items):
+    acc = []
+    for item in sorted(set(items)):
+        acc.append(item)
+    return sha256(repr(acc)).hexdigest()
+'''
+
+
+def build_fixture(tmp_path: Path, name: str, source: str) -> CodeIndex:
+    """Write one fixture module into a package and index it."""
+    root = tmp_path / "fixturepkg"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text("")
+    (root / f"{name}.py").write_text(source)
+    return CodeIndex.build(root, package="fixturepkg")

@@ -1,0 +1,81 @@
+"""Static ↔ dynamic cross-check (the PolyScope-style closing of the loop).
+
+Every statically reported race pair must either be *confirmed* by the
+dynamic detector — its annotated resource shows up in
+``race_candidates()`` when the interleave sweep replays the planted
+counterexample — or carry a written false-positive justification in the
+committed baseline. A lockset finding that is neither confirmed nor
+justified fails this test, which is the contract that keeps the
+warn-only lockset lane honest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.locksets import check_locksets
+from repro.fuzz.interleave import interleave_sweep
+
+from .conftest import BASELINE_PATH
+
+pytestmark = [pytest.mark.analysis, pytest.mark.interleave]
+
+#: Matches tests/fuzz/test_interleave.py: this scenario seed's guard-race
+#: track collides with the victim's AM launches within a few schedules.
+HITTING_SCENARIO_SEED = 3
+
+#: A baseline lockset justification must open with its verdict.
+VERDICTS = ("False positive", "Deliberate", "True positive")
+
+
+@pytest.fixture(scope="module")
+def dynamic_resources():
+    """Resources the dynamic detector flags on the planted sweep."""
+    report = interleave_sweep(
+        n_scenarios=1,
+        schedules_per_scenario=4,
+        base_seed=HITTING_SCENARIO_SEED,
+        planted="binder-guard-race",
+    )
+    assert report.counterexample is not None, "planted sweep found nothing"
+    candidates = report.counterexample.replay().race_candidates
+    return {resource for resource, _a, _b in candidates}
+
+
+@pytest.fixture(scope="module")
+def baseline_entries():
+    raw = json.loads(BASELINE_PATH.read_text())
+    return {entry["fingerprint"]: entry for entry in raw["suppressions"]}
+
+
+def test_every_static_race_is_confirmed_or_justified(
+    tree_index, dynamic_resources, baseline_entries
+):
+    findings = check_locksets(tree_index)
+    assert findings, "lockset pass reports nothing — the control is gone"
+    unaccounted = []
+    for finding in findings:
+        resource = finding.datum("dynamic_resource")
+        if resource is not None and resource in dynamic_resources:
+            continue  # dynamically confirmed
+        entry = baseline_entries.get(finding.fingerprint)
+        if entry is not None and entry["justification"].startswith(VERDICTS):
+            continue  # justified false positive / deliberate window
+        unaccounted.append(finding)
+    assert unaccounted == [], "\n".join(
+        f"{f.render()} — neither dynamically confirmed nor justified"
+        for f in unaccounted
+    )
+
+
+def test_the_positive_control_is_dynamically_confirmed(
+    tree_index, dynamic_resources
+):
+    """The planted binder-guard-race must be found by BOTH detectors:
+    statically by the lockset pass, dynamically by race_candidates()."""
+    findings = check_locksets(tree_index)
+    control = [f for f in findings if f.datum("planted") == "binder-guard-race"]
+    assert len(control) == 1
+    assert control[0].datum("dynamic_resource") in dynamic_resources

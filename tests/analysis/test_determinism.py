@@ -1,0 +1,68 @@
+"""Determinism lint: planted nondeterminism fixture and the live tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.determinism import check_determinism
+
+from .fixtures import NONDET, build_fixture
+from .conftest import BASELINE_PATH
+
+import json
+
+pytestmark = [pytest.mark.analysis]
+
+
+@pytest.fixture()
+def findings(tmp_path):
+    index = build_fixture(tmp_path, "mod", NONDET)
+    return check_determinism(index)
+
+
+class TestPlantedFixture:
+    def test_every_rule_fires_once(self, findings):
+        by_symbol = {(f.rule, f.symbol) for f in findings}
+        assert ("wall-clock", "bad_clock") in by_symbol
+        assert ("wall-clock", "bad_now") in by_symbol
+        assert ("unseeded-random", "bad_unseeded") in by_symbol
+        assert ("global-random", "bad_global_random") in by_symbol
+        assert ("entropy", "bad_entropy") in by_symbol
+        assert ("set-iteration-digest", "bad_digest") in by_symbol
+
+    def test_compliant_twins_stay_clean(self, findings):
+        flagged = {f.symbol for f in findings}
+        assert "good_seeded" not in flagged
+        assert "good_digest" not in flagged
+
+    def test_all_errors(self, findings):
+        assert all(f.severity == "error" for f in findings)
+
+
+class TestLiveTree:
+    def test_only_baselined_wall_clock_remains(self, tree_index):
+        """The tree's sole ambient-nondeterminism uses are the documented
+        host-profiling perf_counter reads, all baselined."""
+        findings = check_determinism(tree_index)
+        assert all(f.rule == "wall-clock" for f in findings), [
+            f.render() for f in findings if f.rule != "wall-clock"
+        ]
+        baselined = {
+            entry["fingerprint"]
+            for entry in json.loads(BASELINE_PATH.read_text())["suppressions"]
+        }
+        unbaselined = [f for f in findings if f.fingerprint not in baselined]
+        assert unbaselined == [], "\n".join(f.render() for f in unbaselined)
+
+    def test_simulation_core_is_fully_deterministic(self, tree_index):
+        """No determinism finding at all inside kernel/core/sched/fuzz —
+        the baseline only ever covers the profiling layers."""
+        findings = check_determinism(tree_index)
+        core_hits = [
+            f
+            for f in findings
+            if f.module.startswith(
+                ("repro.kernel", "repro.core", "repro.sched", "repro.fuzz")
+            )
+        ]
+        assert core_hits == [], "\n".join(f.render() for f in core_hits)

@@ -1,0 +1,102 @@
+"""Static lockset race detector: planted fixture and the live tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.locksets import (
+    KNOWN_RACES,
+    SharedClass,
+    check_locksets,
+    collect_accesses,
+    mutable_attrs,
+)
+
+from .fixtures import RACY, build_fixture
+
+pytestmark = [pytest.mark.analysis]
+
+FIXTURE_SINGLETONS = (SharedClass("fixturepkg.mod", "RacyGuard"),)
+
+
+@pytest.fixture()
+def index(tmp_path):
+    return build_fixture(tmp_path, "mod", RACY)
+
+
+class TestPlantedFixture:
+    def test_mutable_attrs_discovered_from_init(self, index):
+        module = index.modules["fixturepkg.mod"]
+        assert mutable_attrs(module, "RacyGuard") == {
+            "_registry",
+            "_audit",
+            "_locked_table",
+        }
+
+    def test_unlocked_registry_rebuild_is_reported(self, index):
+        findings = check_locksets(index, FIXTURE_SINGLETONS)
+        racy = [f for f in findings if f.symbol == "RacyGuard._registry"]
+        assert len(racy) == 1
+        (finding,) = racy
+        assert finding.rule == "lockset-race"
+        entries = finding.datum("entries", "")
+        assert "RacyGuard.decide" in entries and "RacyGuard.rebuild" in entries
+
+    def test_lock_protected_table_is_not_reported(self, index):
+        """locked_put/locked_get share the rwlock; the scheduler-off
+        fallback write in fallback_put must not resurrect the pair."""
+        findings = check_locksets(index, FIXTURE_SINGLETONS)
+        assert not any(f.symbol == "RacyGuard._locked_table" for f in findings)
+
+    def test_write_free_resources_are_not_reported(self, index):
+        """_audit is written from one entry point and read from none —
+        no pair, no finding."""
+        findings = check_locksets(index, FIXTURE_SINGLETONS)
+        assert not any(f.symbol == "RacyGuard._audit" for f in findings)
+
+    def test_locksets_are_computed_per_access(self, index):
+        accesses = collect_accesses(index, FIXTURE_SINGLETONS)
+        by_entry = {
+            (a.entry, a.attr): a.locks
+            for a in accesses
+            if a.attr == "_locked_table"
+        }
+        assert by_entry[("RacyGuard.locked_put", "_locked_table")] == {
+            "RacyGuard.lock"
+        }
+        assert by_entry[("RacyGuard.locked_get", "_locked_table")] == {
+            "RacyGuard.lock"
+        }
+
+
+class TestLiveTree:
+    def test_planted_binder_guard_race_is_the_positive_control(self, tree_index):
+        """The pass must statically find the planted TOCTOU and tag it
+        with its bug-mode name and dynamic resource annotation."""
+        findings = check_locksets(tree_index)
+        control = [f for f in findings if f.symbol == "IpcGuard._instance_contexts"]
+        assert len(control) == 1
+        (finding,) = control
+        assert finding.datum("planted") == "binder-guard-race"
+        assert finding.datum("dynamic_resource") == "guard-registry"
+        entries = finding.datum("entries", "")
+        assert "IpcGuard.register_instance" in entries
+        assert "IpcGuard.binder_policy" in entries
+
+    def test_known_races_registry_matches_the_tree(self, tree_index):
+        findings = {f.symbol for f in check_locksets(tree_index)}
+        for (cls, attr), (planted, _resource) in KNOWN_RACES.items():
+            assert f"{cls}.{attr}" in findings, (
+                f"KNOWN_RACES expects {planted} at {cls}.{attr} but the "
+                "lockset pass no longer reports it"
+            )
+
+    def test_locked_mount_mutations_carry_the_ns_lock(self, tree_index):
+        accesses = collect_accesses(tree_index)
+        mount_writes = [
+            a
+            for a in accesses
+            if a.entry == "MountNamespace.mount" and a.attr == "_mounts" and a.rw == "w"
+        ]
+        assert mount_writes, "MountNamespace.mount write not observed"
+        assert all("MountNamespace.rwlock" in a.locks for a in mount_writes)

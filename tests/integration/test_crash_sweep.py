@@ -76,9 +76,19 @@ def commit_phase(env):
     proxy.commit_volatile_batch("words", WRAPPER, [r[pk] for r in rows.rows])
 
 
+def egress_phase(env):
+    """Drive the egress services from a plain (non-delegate) app so the
+    bt.send / sms.send / dm.enqueue fault points fire."""
+    wrapper = env.spawn(WRAPPER)
+    wrapper.bluetooth_send("headset-0", b"sweep bt payload")
+    wrapper.send_sms("+15550100", "sweep sms body")
+    wrapper.enqueue_download("http://example.com/leaflet.pdf", "leaflet")
+
+
 def crash_workload(env):
     run_table1_delegates(env)
     commit_phase(env)
+    egress_phase(env)
 
 
 @pytest.fixture(scope="module")
