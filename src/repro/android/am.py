@@ -190,6 +190,7 @@ class ActivityManagerService:
                 target=target,
                 initiator=initiator,
                 pid=process.pid,
+                device_id=self.obs.device_id,
             )
         if _SCHED.enabled:
             # The fork happened but the endpoint/guard bookkeeping has

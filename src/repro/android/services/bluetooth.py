@@ -37,7 +37,12 @@ class BluetoothService:
 
     def _send_impl(self, process: Process, device: str, payload: bytes) -> None:
         if _FAULTS.enabled:
-            _FAULTS.hit("bt.send", context=str(process.context), device=device)
+            _FAULTS.hit(
+                "bt.send",
+                context=str(process.context),
+                device=device,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             _SCHED.yield_point(
                 "bt.send", device=device, resource="bt-egress-log", rw="w"

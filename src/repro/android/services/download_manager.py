@@ -61,7 +61,12 @@ class DownloadManager:
         headers: Optional[Dict[str, str]],
     ) -> int:
         if _FAULTS.enabled:
-            _FAULTS.hit("dm.enqueue", context=str(process.context), url=url)
+            _FAULTS.hit(
+                "dm.enqueue",
+                context=str(process.context),
+                url=url,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             _SCHED.yield_point(
                 "dm.enqueue", url=url, resource="downloads-table", rw="w"

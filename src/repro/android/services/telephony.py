@@ -36,7 +36,12 @@ class TelephonyService:
 
     def _send_sms_impl(self, process: Process, number: str, body: str) -> None:
         if _FAULTS.enabled:
-            _FAULTS.hit("sms.send", context=str(process.context), number=number)
+            _FAULTS.hit(
+                "sms.send",
+                context=str(process.context),
+                number=number,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             _SCHED.yield_point(
                 "sms.send", number=number, resource="sms-egress-log", rw="w"

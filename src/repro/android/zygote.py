@@ -77,7 +77,12 @@ class Zygote:
     def _fork_app_impl(self, package: str, initiator: Optional[str]) -> Process:
         if _FAULTS.enabled:
             # Before any mutation: a failed fork leaves no process behind.
-            _FAULTS.hit("zygote.fork", app=package, initiator=initiator)
+            _FAULTS.hit(
+                "zygote.fork",
+                app=package,
+                initiator=initiator,
+                device_id=self.obs.device_id,
+            )
         installed = self._packages.get(package)
         if not self._maxoid_enabled:
             initiator = None

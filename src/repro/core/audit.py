@@ -304,6 +304,22 @@ class AuditLog:
         # Fault-plane sequence numbers already ingested, so repeated
         # recover() calls don't duplicate injection records.
         self._ingested: set = set()
+        #: ``fn(event)`` per recorded event — the flight recorder's tap.
+        #: Empty (one truthiness check per record) until something arms it.
+        self._listeners: List[Any] = []
+
+    def add_listener(self, fn: Any) -> None:
+        """Register ``fn(event)`` to observe every recorded event.
+
+        Listeners fire synchronously inside :meth:`record`, so a sealer
+        sees the violation before whoever recorded it can unwind. Not
+        cleared by :meth:`clear` — detach explicitly."""
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Any) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
 
     def record(self, category: str, message: str, **details: Any) -> AuditEvent:
         self._seq += 1
@@ -315,6 +331,9 @@ class AuditLog:
             device_id=self.device_id,
         )
         self._events.append(event)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(event)
         return event
 
     def ingest_faults(self, plane: Any) -> int:

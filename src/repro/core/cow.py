@@ -625,7 +625,11 @@ class CowProxy:
             return False
         if _FAULTS.enabled:
             _FAULTS.hit(
-                "cow.delta_commit", table=name, initiator=initiator, row_id=row_id
+                "cow.delta_commit",
+                table=name,
+                initiator=initiator,
+                row_id=row_id,
+                device_id=self.obs.device_id,
             )
         if _SCHED.enabled:
             _SCHED.yield_point(
@@ -652,7 +656,11 @@ class CowProxy:
             return 0
         if _FAULTS.enabled:
             _FAULTS.hit(
-                "cow.delta_commit", table=name, initiator=initiator, rows=len(row_ids)
+                "cow.delta_commit",
+                table=name,
+                initiator=initiator,
+                rows=len(row_ids),
+                device_id=self.obs.device_id,
             )
         if _SCHED.enabled:
             _SCHED.yield_point(
@@ -759,7 +767,11 @@ class CowProxy:
     def _apply_commit_entries(self, entries: List[Dict[str, object]]) -> None:
         for entry in entries:
             if _FAULTS.enabled:
-                _FAULTS.hit("cow.delta_commit.apply", table=entry["tbl"])
+                _FAULTS.hit(
+                    "cow.delta_commit.apply",
+                    table=entry["tbl"],
+                    device_id=self.obs.device_id,
+                )
             if _SCHED.enabled:
                 _SCHED.yield_point(
                     "cow.delta_commit.apply",
@@ -779,7 +791,11 @@ class CowProxy:
                     entry["initiator"],
                 )
             if _FAULTS.enabled:
-                _FAULTS.hit("cow.delta_commit.truncate", table=entry["tbl"])
+                _FAULTS.hit(
+                    "cow.delta_commit.truncate",
+                    table=entry["tbl"],
+                    device_id=self.obs.device_id,
+                )
             self.db.execute(
                 f"DELETE FROM {JOURNAL_TABLE} WHERE jid = ?", [entry["jid"]]
             )

@@ -109,7 +109,7 @@ class Device:
         self.branches = BranchManager(self.system_fs, obs=self.obs)
         self.audit_log = AuditLog(device_id=self.device_id)
         self.binder.attach_audit_log(self.audit_log)
-        self.commit_journal = CommitJournal(self.system_fs)
+        self.commit_journal = CommitJournal(self.system_fs, obs=self.obs)
         # -- namespaces -------------------------------------------------------
         # Every app sees the system fs at / and public external storage at
         # EXTDIR; the system process additionally sees the volatile forest.
@@ -277,6 +277,28 @@ class Device:
         return count
 
     # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+
+    def arm_flight_recorder(
+        self,
+        capacity: int = 4096,
+        halt_at: Optional[int] = None,
+        autoseal: bool = True,
+    ):
+        """Arm this device's flight recorder with its audit log tapped.
+
+        Convenience over ``device.obs.recorder.arm(...)`` that wires in
+        ``self.audit_log``, so S1-S4 violations and delegate timeouts
+        recorded there trigger black-box dumps automatically."""
+        return self.obs.recorder.arm(
+            capacity=capacity,
+            audit_log=self.audit_log,
+            halt_at=halt_at,
+            autoseal=autoseal,
+        )
+
+    # ------------------------------------------------------------------
     # Crash recovery
     # ------------------------------------------------------------------
 
@@ -359,6 +381,21 @@ class Device:
                 "validation sweep",
                 violations=len(report.sweep_violations),
                 spans=report.sweep_spans_checked,
+            )
+        # 7. Seal the black box: everything the recorder saw up to and
+        # through the crash plus what recovery did about it.
+        if self.obs.recorder.armed:
+            self.obs.recorder.seal(
+                "crash-recovery",
+                recovery={
+                    "file_commits_replayed": report.file_commits_replayed,
+                    "file_commits_rolled_back": report.file_commits_rolled_back,
+                    "cow_rows_replayed": report.cow_rows_replayed,
+                    "cow_rows_rolled_back": report.cow_rows_rolled_back,
+                    "orphans_reaped": len(report.orphans_reaped),
+                    "namespaces_rebuilt": report.namespaces_rebuilt,
+                    "sweep_violations": len(report.sweep_violations),
+                },
             )
         return report
 

@@ -44,9 +44,15 @@ class CommitIntent:
 class CommitJournal:
     """The volatile-file commit WAL, backed by the system filesystem."""
 
-    def __init__(self, fs: Filesystem, directory: str = JOURNAL_DIR) -> None:
+    def __init__(
+        self, fs: Filesystem, directory: str = JOURNAL_DIR, *, obs: object = None
+    ) -> None:
         self._fs = fs
         self._dir = directory
+        # The owning device's ObsContext (when journal belongs to one):
+        # fault hits stamp its device_id so a fleet postmortem can tell
+        # whose journal tore.
+        self._obs = obs
         if not fs.exists(directory, ROOT_CRED):
             # Parents keep the default (traversable) mode; only the journal
             # directory itself is root-only.
@@ -90,7 +96,14 @@ class CommitJournal:
         text = json.dumps(entry).encode()
         if _FAULTS.enabled:
             try:
-                _FAULTS.hit("vol.commit.journal", path=entry_path)
+                if self._obs is not None:
+                    _FAULTS.hit(
+                        "vol.commit.journal",
+                        path=entry_path,
+                        device_id=self._obs.device_id,
+                    )
+                else:
+                    _FAULTS.hit("vol.commit.journal", path=entry_path)
             except BaseException:
                 # The crash interrupted the entry write itself: leave a
                 # torn half-entry behind, which recovery must roll back.

@@ -108,7 +108,12 @@ class VolatileFiles:
         else:
             raise FileNotFound(f"{tmp_path} is not a volatile path")
         if _FAULTS.enabled:
-            _FAULTS.hit("vol.commit", initiator=self._package, path=tmp_path)
+            _FAULTS.hit(
+                "vol.commit",
+                initiator=self._package,
+                path=tmp_path,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             _SCHED.yield_point(
                 "vol.commit", path=tmp_path, resource=f"file:{tmp_path}", rw="r"
@@ -129,7 +134,12 @@ class VolatileFiles:
                 gid=self._process.cred.gid,
             )
         if _FAULTS.enabled:
-            _FAULTS.hit("vol.commit.apply", initiator=self._package, path=destination)
+            _FAULTS.hit(
+                "vol.commit.apply",
+                initiator=self._package,
+                path=destination,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             _SCHED.yield_point(
                 "vol.commit.apply",
@@ -146,7 +156,10 @@ class VolatileFiles:
             self.obs.provenance.commit_file(tmp_path, destination, self._package or "")
         if _FAULTS.enabled:
             _FAULTS.hit(
-                "vol.commit.truncate", initiator=self._package, path=destination
+                "vol.commit.truncate",
+                initiator=self._package,
+                path=destination,
+                device_id=self.obs.device_id,
             )
         if _SCHED.enabled:
             _SCHED.yield_point("vol.commit.truncate", path=destination)

@@ -125,6 +125,10 @@ class FaultPlane:
         self.schedule: List[Tuple[int, str, str]] = []
         #: One dict per *fired* fault, with the call-site context.
         self.injection_log: List[Dict[str, Any]] = []
+        #: ``fn(point, outcome, ctx)`` per consult — the flight
+        #: recorder's tap. Empty (and costing one truthiness check per
+        #: consult, nothing per disabled call site) until armed.
+        self._listeners: List[Callable[[str, str, Dict[str, Any]], None]] = []
 
     # ------------------------------------------------------------------
     # Arming
@@ -172,6 +176,24 @@ class FaultPlane:
         return sorted(self._armed)
 
     # ------------------------------------------------------------------
+    # Consult listeners (the flight-recorder tap)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, fn: Callable[[str, str, Dict[str, Any]], None]) -> None:
+        """Register ``fn(point, outcome, ctx)`` to observe every consult.
+
+        Listeners see fired faults *before* the exception propagates, so
+        a recorder captures the injection even when the workload dies on
+        it. They are not cleared by :meth:`reset` — arm/disarm them
+        explicitly (the flight recorder does)."""
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[str, str, Dict[str, Any]], None]) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    # ------------------------------------------------------------------
     # The hot-path entry
     # ------------------------------------------------------------------
 
@@ -205,8 +227,14 @@ class FaultPlane:
                     "ctx": dict(ctx),
                 }
             )
+            if self._listeners:
+                for listener in self._listeners:
+                    listener(point, outcome, ctx)
             raise error
         self.schedule.append((seq, point, "pass"))
+        if self._listeners:
+            for listener in self._listeners:
+                listener(point, "pass", ctx)
 
     def hits(self, point: str) -> int:
         """How many times ``point`` has been consulted since reset."""

@@ -55,8 +55,11 @@ from repro.fuzz.ops import (
     WriteExternal,
 )
 from repro.fuzz.driver import (
+    AnchorHalt,
     Counterexample,
     fuzz_sweep,
+    record_scenario,
+    replay_to_anchor,
     run_scenario,
     scenario_from_seed,
     shrink,
@@ -102,8 +105,11 @@ __all__ = [
     "ArmFault",
     "DisarmFaults",
     "CrashNow",
+    "AnchorHalt",
     "Counterexample",
     "scenario_from_seed",
+    "record_scenario",
+    "replay_to_anchor",
     "run_scenario",
     "shrink",
     "fuzz_sweep",

@@ -21,10 +21,12 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.apps.adversarial import exfil_browser, interpreter, launderer, leaky_provider
 from repro.fuzz.harness import FuzzWorld, RunResult, SECRET_PATH, VICTIM_PACKAGE
+from repro.obs import OBS
+from repro.obs.recorder import AnchorReached, BlackBox, Event
 from repro.fuzz.ops import (
     ArmFault,
     BrowseFile,
@@ -47,9 +49,12 @@ from repro.fuzz.ops import (
 )
 
 __all__ = [
+    "AnchorHalt",
     "Counterexample",
     "SweepReport",
     "fuzz_sweep",
+    "record_scenario",
+    "replay_to_anchor",
     "run_scenario",
     "scenario_from_seed",
     "shrink",
@@ -179,6 +184,89 @@ def run_scenario(
         world.close()
 
 
+def record_scenario(
+    ops: Sequence[Op],
+    planted: Optional[str] = None,
+    maxoid: bool = True,
+    capacity: int = 4096,
+    **seal_extra: Any,
+) -> Tuple[RunResult, BlackBox]:
+    """Run one op sequence with the flight recorder armed; returns the
+    RunResult plus the sealed ``counterexample`` black box.
+
+    The dump is sealed *inside* the world's lifetime so its metadata
+    carries the still-armed fault policies and consult schedule."""
+    world = FuzzWorld(planted=planted, maxoid=maxoid, record=True, record_capacity=capacity)
+    world.start()
+    try:
+        for op in ops:
+            world.step(op)
+        result = world.result()
+        box = world.seal_recording("counterexample", **seal_extra)
+        assert box is not None
+        return result, box
+    finally:
+        world.close()
+
+
+@dataclass
+class AnchorHalt:
+    """A replay halted at its anchor, with the world still standing.
+
+    The caller inspects ``world.device`` (filesystems, audit log,
+    provenance ledger) and the recorder's ring, then MUST call
+    ``halt.world.close()`` to leave the global planes clean."""
+
+    world: FuzzWorld
+    event: Event
+    recorder: Any  # the (still ring-bearing) FlightRecorder
+
+    def events_digest(self) -> str:
+        """Digest of the replayed event prefix — compared against the
+        recorded dump's digest for the byte-identity acceptance check."""
+        from repro.obs.recorder import events_digest
+
+        return events_digest(tuple(self.recorder.events()))
+
+
+def replay_to_anchor(
+    counterexample: "Counterexample", anchor_seq: Optional[int] = None
+) -> AnchorHalt:
+    """Re-run a counterexample's minimal sequence with the recorder armed
+    and halt at the anchor event — the replay-to-anchor postmortem.
+
+    ``anchor_seq`` defaults to the recorded black box's anchor (its last
+    event). Returns an :class:`AnchorHalt` whose world is still open for
+    inspection; raises RuntimeError if the replay drifts and never
+    reaches the anchor."""
+    if anchor_seq is None:
+        if counterexample.blackbox is None:
+            raise ValueError("counterexample carries no flight recording")
+        anchor_seq = counterexample.blackbox.anchor_seq
+    ops = scenario_from_seed(counterexample.seed)
+    minimal = [ops[i] for i in counterexample.kept]
+    world = FuzzWorld(
+        planted=counterexample.planted,
+        maxoid=counterexample.maxoid,
+        record=True,
+        halt_at=anchor_seq,
+    )
+    world.start()
+    try:
+        for op in minimal:
+            world.step(op)
+    except AnchorReached as reached:
+        return AnchorHalt(world=world, event=reached.event, recorder=OBS.recorder)
+    except BaseException:
+        world.close()
+        raise
+    world.close()
+    raise RuntimeError(
+        f"replay never reached anchor event #{anchor_seq} "
+        f"(recorded {OBS.recorder.seq} events) — recording and scenario disagree"
+    )
+
+
 def shrink(
     ops: Sequence[Op], planted: Optional[str] = None, maxoid: bool = True
 ) -> List[int]:
@@ -214,6 +302,9 @@ class Counterexample:
     kept: Tuple[int, ...]
     ops: Tuple[Op, ...]
     result: RunResult
+    #: The flight recording of the minimal run (when the sweep recorded
+    #: one) — the replay-to-anchor postmortem's input.
+    blackbox: Optional[BlackBox] = None
 
     @property
     def fingerprint(self) -> str:
@@ -245,6 +336,15 @@ class Counterexample:
             "violations": self.result.violation_renders(),
             "schedule": self.result.schedule.decode(),
             "fingerprint": self.fingerprint,
+            "blackbox": (
+                None
+                if self.blackbox is None
+                else {
+                    "anchor_seq": self.blackbox.anchor_seq,
+                    "events": len(self.blackbox.events),
+                    "events_digest": self.blackbox.events_digest(),
+                }
+            ),
         }
 
     def replay(self) -> RunResult:
@@ -273,11 +373,14 @@ def fuzz_sweep(
     planted: Optional[str] = None,
     maxoid: bool = True,
     artifact_path: Optional[str] = None,
+    blackbox_path: Optional[str] = None,
 ) -> SweepReport:
     """Run ``n`` seeded scenarios; shrink and report the first violation.
 
     ``artifact_path`` (used by the CI fuzz lane) receives the
-    counterexample as JSON when one is found.
+    counterexample as JSON when one is found; the minimal run is then
+    re-run with the flight recorder armed so every counterexample ships
+    a black-box recording (written to ``blackbox_path`` when given).
     """
     for index in range(n):
         seed = base_seed + index
@@ -287,16 +390,24 @@ def fuzz_sweep(
             continue
         kept = shrink(ops, planted=planted, maxoid=maxoid)
         minimal = [ops[i] for i in kept]
+        final, box = record_scenario(
+            minimal, planted=planted, maxoid=maxoid, seed=seed, kept=list(kept)
+        )
         counterexample = Counterexample(
             seed=seed,
             planted=planted,
             maxoid=maxoid,
             kept=tuple(kept),
             ops=tuple(minimal),
-            result=run_scenario(minimal, planted=planted, maxoid=maxoid),
+            result=final,
+            blackbox=box,
         )
         if artifact_path is not None:
             with open(artifact_path, "w", encoding="utf-8") as sink:
                 json.dump(counterexample.to_dict(), sink, indent=2)
+        if blackbox_path is not None:
+            from repro.obs.artifacts import write_blackbox
+
+            write_blackbox(blackbox_path, box)
         return SweepReport(examples=index + 1, counterexample=counterexample)
     return SweepReport(examples=n)

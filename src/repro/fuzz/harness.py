@@ -107,7 +107,14 @@ class RunResult:
 class FuzzWorld:
     """A monitored device plus the mutable state the op language needs."""
 
-    def __init__(self, planted: Optional[str] = None, maxoid: bool = True) -> None:
+    def __init__(
+        self,
+        planted: Optional[str] = None,
+        maxoid: bool = True,
+        record: bool = False,
+        record_capacity: int = 4096,
+        halt_at: Optional[int] = None,
+    ) -> None:
         if planted is not None and planted not in PLANTED_VULNS:
             raise KeyError(
                 f"unknown planted vulnerability {planted!r}; "
@@ -115,6 +122,13 @@ class FuzzWorld:
             )
         self.planted = planted
         self.maxoid = maxoid
+        #: Arm the flight recorder for this world's lifetime. ``halt_at``
+        #: is the replay-to-anchor hook: recording event ``seq ==
+        #: halt_at`` raises AnchorReached through the op that produced it
+        #: (callers leave the world open for inspection).
+        self.record = record
+        self.record_capacity = record_capacity
+        self.halt_at = halt_at
         self.device: Device = None  # type: ignore[assignment]
         self.apps: Dict[str, SimApp] = {}
         #: subject key -> live AppApi (the delegation topology so far).
@@ -157,9 +171,25 @@ class FuzzWorld:
             ledger=OBS.provenance,
             audit_log=self.device.audit_log,
         ).attach()
+        if self.record:
+            # The audit log is tapped too, so a violation the monitor
+            # records seals a black box the moment it happens.
+            OBS.recorder.arm(
+                capacity=self.record_capacity,
+                audit_log=self.device.audit_log,
+                halt_at=self.halt_at,
+            )
         self.apis[VICTIM_PACKAGE] = victim
         self._started = True
         return self
+
+    def seal_recording(self, trigger: str = "counterexample", **extra):
+        """Seal the armed recorder's ring into a BlackBox (None when not
+        recording). Must run before :meth:`close` — sealing captures the
+        fault plane's armed policies and schedule, which close resets."""
+        if not OBS.recorder.armed:
+            return None
+        return OBS.recorder.seal(trigger, **extra)
 
     def close(self) -> None:
         """Tear the world down; global planes are left clean."""
@@ -169,6 +199,8 @@ class FuzzWorld:
         try:
             self.monitor.detach()
         finally:
+            if self.record and OBS.recorder.armed:
+                OBS.recorder.disarm()
             self._capture.__exit__(None, None, None)
             self._capture = None
             FAULTS.reset()

@@ -57,7 +57,9 @@ from repro.fuzz.ops import (
     VolatileCommit,
     WriteExternal,
 )
+from repro.fuzz.driver import AnchorHalt
 from repro.obs import OBS
+from repro.obs.recorder import AnchorReached, BlackBox
 from repro.sched import SCHED, schedule_bytes as _sched_bytes, schedule_digest
 
 __all__ = [
@@ -66,6 +68,7 @@ __all__ = [
     "RaceCounterexample",
     "concurrent_scenario_from_seed",
     "interleave_sweep",
+    "replay_to_anchor",
     "run_interleaved",
     "shrink_schedule",
     "shrink_tracks",
@@ -178,6 +181,8 @@ class InterleaveResult:
     #: closed spans in close order, as counter-free (name, ctx) pairs.
     spans: List[Tuple[str, Optional[str]]] = field(default_factory=list)
     race_candidates: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: The run's flight recording, when ``run_interleaved(record=True)``.
+    blackbox: Optional[BlackBox] = None
 
     @property
     def violations(self):
@@ -208,14 +213,16 @@ def run_interleaved(
     schedule: Optional[Sequence[str]] = None,
     planted: Optional[str] = None,
     maxoid: bool = True,
+    record: bool = False,
 ) -> InterleaveResult:
     """Run every track concurrently under one deterministic schedule.
 
     ``sched_seed`` drives the interleaving; passing ``schedule`` (a
     recorded task-name sequence) replays it instead, with deterministic
     fallback on divergence — the replay half of the ``(seed, schedule)``
-    reproducibility contract."""
-    world = FuzzWorld(planted=planted, maxoid=maxoid)
+    reproducibility contract. ``record=True`` arms the flight recorder
+    for the run and seals a ``counterexample`` dump into ``.blackbox``."""
+    world = FuzzWorld(planted=planted, maxoid=maxoid, record=record)
     world.start()
     spans: List[Tuple[str, Optional[str]]] = []
 
@@ -240,6 +247,7 @@ def run_interleaved(
             # escaping a track is a harness bug and must surface.
             raise error
         result = world.result()
+        box = world.seal_recording("counterexample") if record else None
     finally:
         OBS.tracer.remove_listener(_span_listener)
         world.close()
@@ -250,6 +258,7 @@ def run_interleaved(
         sched_seed=sched_seed if schedule is None else None,
         spans=spans,
         race_candidates=srun.race_candidates,
+        blackbox=box,
     )
 
 
@@ -392,6 +401,9 @@ class RaceCounterexample:
     schedule: Tuple[str, ...]
     decisions: Tuple[Tuple[int, str, str], ...]
     result: RunResult
+    #: The flight recording of the final minimal run under the shrunk
+    #: schedule — the replay-to-anchor postmortem's input.
+    blackbox: Optional[BlackBox] = None
 
     @property
     def digest(self) -> str:
@@ -454,7 +466,76 @@ class RaceCounterexample:
             "outcomes": [list(pair) for pair in self.result.outcomes],
             "violations": self.result.violation_renders(),
             "fingerprint": self.fingerprint,
+            "blackbox": (
+                None
+                if self.blackbox is None
+                else {
+                    "anchor_seq": self.blackbox.anchor_seq,
+                    "events": len(self.blackbox.events),
+                    "events_digest": self.blackbox.events_digest(),
+                }
+            ),
         }
+
+
+def replay_to_anchor(
+    counterexample: RaceCounterexample, anchor_seq: Optional[int] = None
+) -> AnchorHalt:
+    """Replay a race counterexample under its recorded schedule with the
+    recorder armed, halting at the anchor event.
+
+    The anchor can be reached from a task thread (a span/fault/audit
+    event) or from the reactor's own decision loop (a ``sched decision``
+    event); both paths stop the scheduler and leave the world standing.
+    Returns an :class:`~repro.fuzz.driver.AnchorHalt` — the caller
+    inspects, then MUST ``halt.world.close()``."""
+    if anchor_seq is None:
+        if counterexample.blackbox is None:
+            raise ValueError("race counterexample carries no flight recording")
+        anchor_seq = counterexample.blackbox.anchor_seq
+    tracks = {name: list(ops) for name, ops in counterexample.tracks.items()}
+    world = FuzzWorld(
+        planted=counterexample.planted,
+        maxoid=counterexample.maxoid,
+        record=True,
+        halt_at=anchor_seq,
+    )
+    world.start()
+
+    def _track_fn(ops: List[Op]):
+        def fn() -> None:
+            for op in ops:
+                SCHED.yield_point("op.boundary")
+                world.step(op)
+
+        return fn
+
+    named = [(name, _track_fn(ops)) for name, ops in sorted(tracks.items())]
+    try:
+        srun = SCHED.run(
+            named,
+            seed=counterexample.sched_seed,
+            replay=list(counterexample.schedule),
+            reraise=False,
+        )
+    except AnchorReached as reached:
+        # The anchor was a scheduler decision: the recorder's tap raised
+        # from the reactor loop itself.
+        return AnchorHalt(world=world, event=reached.event, recorder=OBS.recorder)
+    except BaseException:
+        world.close()
+        raise
+    for error in srun.errors.values():
+        if isinstance(error, AnchorReached):
+            return AnchorHalt(world=world, event=error.event, recorder=OBS.recorder)
+    for error in srun.errors.values():
+        world.close()
+        raise error
+    world.close()
+    raise RuntimeError(
+        f"replay never reached anchor event #{anchor_seq} "
+        f"(recorded {OBS.recorder.seq} events) — recording and tracks disagree"
+    )
 
 
 @dataclass
@@ -479,6 +560,7 @@ def _package(
     maxoid: bool,
     artifact_path: Optional[str],
     examples: int,
+    blackbox_path: Optional[str] = None,
 ) -> InterleaveSweepReport:
     """Shrink a violating run (ops, then schedule) into a counterexample."""
     recorded = found.schedule()
@@ -500,6 +582,17 @@ def _package(
     result = shrink_schedule(
         minimal, result, sched_seed=sched_seed, planted=planted, maxoid=maxoid
     )
+    # Final pass: replay the shrunk schedule with the flight recorder
+    # armed, so the counterexample ships a black-box recording whose
+    # anchor the postmortem can replay to.
+    recorded = run_interleaved(
+        minimal,
+        sched_seed=sched_seed,
+        schedule=result.schedule(),
+        planted=planted,
+        maxoid=maxoid,
+        record=True,
+    )
     counterexample = RaceCounterexample(
         scenario_seed=scenario_seed,
         noise=noise,
@@ -508,13 +601,18 @@ def _package(
         maxoid=maxoid,
         kept={name: tuple(slots) for name, slots in kept.items()},
         tracks={name: tuple(ops) for name, ops in minimal.items()},
-        schedule=tuple(result.schedule()),
-        decisions=tuple(result.decisions),
-        result=result.run,
+        schedule=tuple(recorded.schedule()),
+        decisions=tuple(recorded.decisions),
+        result=recorded.run,
+        blackbox=recorded.blackbox,
     )
     if artifact_path is not None:
         with open(artifact_path, "w", encoding="utf-8") as sink:
             json.dump(counterexample.to_dict(), sink, indent=2)
+    if blackbox_path is not None and counterexample.blackbox is not None:
+        from repro.obs.artifacts import write_blackbox
+
+        write_blackbox(blackbox_path, counterexample.blackbox)
     return InterleaveSweepReport(examples=examples, counterexample=counterexample)
 
 
@@ -527,11 +625,13 @@ def interleave_sweep(
     noise: int = 2,
     perturb: int = 3,
     artifact_path: Optional[str] = None,
+    blackbox_path: Optional[str] = None,
 ) -> InterleaveSweepReport:
     """Drive seeded concurrent scenarios through randomized and
     systematically-perturbed schedules; shrink and report the first
     S1-S4 violation. ``artifact_path`` (used by the CI interleave lane)
-    receives the counterexample as JSON when one is found."""
+    receives the counterexample as JSON when one is found;
+    ``blackbox_path`` receives its flight recording as JSONL."""
     examples = 0
     for scenario_index in range(n_scenarios):
         scenario_seed = base_seed + scenario_index
@@ -548,6 +648,7 @@ def interleave_sweep(
                 return _package(
                     scenario_seed, noise, tracks, result, sched_seed,
                     planted, maxoid, artifact_path, examples,
+                    blackbox_path=blackbox_path,
                 )
         # Systematic perturbation: splice a foreign task into the last
         # observed schedule at evenly spaced points — forced preemptions
@@ -577,5 +678,6 @@ def interleave_sweep(
                     return _package(
                         scenario_seed, noise, tracks, result, sched_seed,
                         planted, maxoid, artifact_path, examples,
+                        blackbox_path=blackbox_path,
                     )
     return InterleaveSweepReport(examples=examples)

@@ -270,7 +270,12 @@ class AufsMount(FilesystemAPI):
 
     def _copy_up_impl(self, union_path, source_index, cred, span) -> None:
         if _FAULTS.enabled:
-            _FAULTS.hit("aufs.copy_up", mount=self.label, path=union_path)
+            _FAULTS.hit(
+                "aufs.copy_up",
+                mount=self.label,
+                path=union_path,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             with self.rwlock.write():
                 _SCHED.yield_point(
@@ -301,7 +306,12 @@ class AufsMount(FilesystemAPI):
         branch.fs.write_file(staging, data, ROOT_CRED, mode=stat.mode | 0o600)
         branch.fs.chown(staging, cred.uid, gid=cred.gid)
         if _FAULTS.enabled:
-            _FAULTS.hit("aufs.copy_up.publish", mount=self.label, path=union_path)
+            _FAULTS.hit(
+                "aufs.copy_up.publish",
+                mount=self.label,
+                path=union_path,
+                device_id=self.obs.device_id,
+            )
         if _SCHED.enabled:
             _SCHED.yield_point("aufs.copy_up.publish", path=union_path)
         branch.fs.rename(staging, target, ROOT_CRED)

@@ -194,7 +194,11 @@ class BinderDriver:
     def _transact_impl(self, sender: Process, target: str, code: str, payload: Any) -> Any:
         if _FAULTS.enabled:
             _FAULTS.hit(
-                "binder.transact", ctx=str(sender.context), target=target, code=code
+                "binder.transact",
+                ctx=str(sender.context),
+                target=target,
+                code=code,
+                device_id=self.obs.device_id,
             )
         if _SCHED.enabled:
             _SCHED.yield_point(

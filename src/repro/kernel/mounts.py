@@ -93,7 +93,9 @@ class MountNamespace:
         Chooses the mount point with the longest prefix match.
         """
         if _FAULTS.enabled:
-            _FAULTS.hit("mounts.resolve", path=path)
+            _FAULTS.hit(
+                "mounts.resolve", path=path, device_id=self.obs.device_id
+            )
         if self.obs.enabled:
             self.obs.metrics.count("mounts.resolve")
         if _SCHED.enabled:

@@ -194,7 +194,12 @@ class Syscalls:
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644) -> None:
         if _FAULTS.enabled:
-            _FAULTS.hit("vfs.write", ctx=str(self.process.context), path=path)
+            _FAULTS.hit(
+                "vfs.write",
+                ctx=str(self.process.context),
+                path=path,
+                device_id=self.obs.device_id,
+            )
         if self.obs.enabled:
             with self.obs.tracer.span(
                 "vfs.write", ctx=str(self.process.context), path=path, bytes=len(data)
@@ -223,7 +228,12 @@ class Syscalls:
 
     def append_file(self, path: str, data: bytes) -> None:
         if _FAULTS.enabled:
-            _FAULTS.hit("vfs.write", ctx=str(self.process.context), path=path)
+            _FAULTS.hit(
+                "vfs.write",
+                ctx=str(self.process.context),
+                path=path,
+                device_id=self.obs.device_id,
+            )
         if self.obs.enabled:
             with self.obs.tracer.span(
                 "vfs.write", ctx=str(self.process.context), path=path,

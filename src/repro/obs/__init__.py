@@ -125,6 +125,7 @@ from repro.obs.profile import (
     latency_summary,
 )
 from repro.obs.provenance import Label, Lineage, ProvenanceLedger
+from repro.obs.recorder import AnchorReached, BlackBox, Event, FlightRecorder
 from repro.obs.sweep import (
     Violation,
     evaluate_span,
@@ -167,6 +168,10 @@ __all__ = [
     "write_folded_stacks",
     "write_speedscope",
     "ProvenanceLedger",
+    "AnchorReached",
+    "BlackBox",
+    "Event",
+    "FlightRecorder",
     "SecurityMonitor",
     "OBS",
     "ObsContext",
@@ -227,6 +232,15 @@ class ObsContext:
         #: tracer listener observes every closing span's duration; off,
         #: no listener is registered and span close runs the seed path.
         self.profile = False
+        #: The device's flight recorder (:mod:`repro.obs.recorder`). A
+        #: disarmed recorder holds no listeners anywhere, so it adds
+        #: nothing to any hot path until ``recorder.arm()``.
+        self.recorder = FlightRecorder(self)
+        #: Context-owned head-sampling policy. These mirror the tracer's
+        #: internals so :meth:`capture` can save/restore them without
+        #: reaching into ``Tracer`` privates.
+        self.sample_rate = 1.0
+        self.sample_seed = 0
         self._jsonl_path: Optional[str] = None
         self._ring_capacity = 8192
         _CONTEXTS.add(self)
@@ -247,10 +261,17 @@ class ObsContext:
         """
         self.tracer.enable(jsonl_path=jsonl_path, capacity=ring_capacity)
         if sample_rate is not None:
-            self.tracer.set_sampling(rate=sample_rate, seed=sample_seed)
+            self.set_sampling(rate=sample_rate, seed=sample_seed)
         self.enabled = True
         self._jsonl_path = jsonl_path
         self._ring_capacity = ring_capacity
+
+    def set_sampling(self, rate: float, seed: int = 0) -> None:
+        """Arm the tracer's seeded head sampling and remember the policy
+        on the context (so nested captures can restore it)."""
+        self.tracer.set_sampling(rate=rate, seed=seed)
+        self.sample_rate = rate
+        self.sample_seed = seed
 
     def enable_prov(self) -> None:
         """Arm provenance tracking (implies :meth:`enable` if needed)."""
@@ -307,7 +328,11 @@ class ObsContext:
         are removed on exit even when the block raises mid-span, and any
         provenance actor scopes the aborted op left pushed are cleared —
         one capture cannot leak monitor callbacks or actor attribution
-        into the next.
+        into the next. The sampling policy and the flight recorder's
+        arm-state are saved and restored the same way: a recorder armed
+        (or re-armed) inside the block is disarmed on exit, and an outer
+        arm-state is re-armed with its original configuration, so nested
+        captures cannot leak recording config into the enclosing scope.
         """
         was_enabled = self.enabled
         was_prov = self.prov
@@ -315,8 +340,10 @@ class ObsContext:
         prior_jsonl = self._jsonl_path
         prior_capacity = self._ring_capacity
         prior_listeners = list(self.tracer._listeners)
-        prior_rate = self.tracer._sample_rate
-        prior_seed = self.tracer._sample_seed
+        prior_rate = self.sample_rate
+        prior_seed = self.sample_seed
+        was_recording = self.recorder.armed
+        prior_arm = self.recorder.arm_config if was_recording else None
         self.reset()
         # A capture is a clean slate: full sampling unless asked otherwise
         # (the context's own policy is restored on exit).
@@ -335,13 +362,23 @@ class ObsContext:
             yield self
         finally:
             self.disable()
+            # Restore the recorder arm-state only when the block changed
+            # it: a block that leaves the recorder alone keeps its ring
+            # intact (re-arming resets it), while one that arms or
+            # re-arms the recorder cannot leak that config outward.
+            arm_now = self.recorder.arm_config if self.recorder.armed else None
+            arm_then = prior_arm if was_recording else None
+            if self.recorder.armed != was_recording or arm_now != arm_then:
+                self.recorder.disarm()
+                if was_recording and prior_arm is not None:
+                    self.recorder.arm(**prior_arm)
             self.tracer._listeners[:] = [
                 listener
                 for listener in self.tracer._listeners
                 if listener in prior_listeners
             ]
             self.provenance.clear_actors()
-            self.tracer.set_sampling(rate=prior_rate, seed=prior_seed)
+            self.set_sampling(rate=prior_rate, seed=prior_seed)
             if was_enabled:
                 self.enable(jsonl_path=prior_jsonl, ring_capacity=prior_capacity)
                 self.prov = was_prov

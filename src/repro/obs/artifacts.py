@@ -46,7 +46,9 @@ __all__ = [
     "run_metadata",
     "layer_section",
     "latency_section",
+    "load_blackbox",
     "update_bench_json",
+    "write_blackbox",
 ]
 
 #: Environment variable that opts tests into artifact emission.
@@ -144,6 +146,69 @@ def update_bench_json(path: str, section: str, values: Dict[str, Any]) -> Dict[s
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return document
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder black-box dumps
+# ----------------------------------------------------------------------
+
+#: First JSONL line of a black-box dump; bump on incompatible changes.
+BLACKBOX_SCHEMA_VERSION = 1
+
+
+def write_blackbox(path: str, box: Any) -> str:
+    """Seal a :class:`~repro.obs.recorder.BlackBox` to disk as JSONL.
+
+    Line 1 is the header (trigger, device, anchor, events digest, run
+    metadata); every following line is one event. JSONL keeps huge rings
+    streamable — the timeline CLI and CI artifact uploads read these.
+    Returns ``path``.
+    """
+    header = {
+        "kind": "blackbox",
+        "blackbox_schema": BLACKBOX_SCHEMA_VERSION,
+        "trigger": box.trigger,
+        "device_id": box.device_id,
+        "anchor_seq": box.anchor_seq,
+        "events_digest": box.events_digest(),
+        "metadata": dict(box.metadata),
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as sink:
+        sink.write(json.dumps(header, sort_keys=True, default=str) + "\n")
+        for event in box.events:
+            sink.write(json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n")
+    return path
+
+
+def load_blackbox(path: str) -> Any:
+    """Load a dump written by :func:`write_blackbox`; verifies the
+    recorded events digest (a corrupt dump raises ValueError)."""
+    from repro.obs.recorder import BlackBox, Event
+
+    with open(path, "r", encoding="utf-8") as source:
+        lines = [line for line in source if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty black-box dump")
+    header = json.loads(lines[0])
+    if header.get("kind") != "blackbox":
+        raise ValueError(f"{path}: not a black-box dump (kind={header.get('kind')!r})")
+    events = tuple(Event.from_dict(json.loads(line)) for line in lines[1:])
+    box = BlackBox(
+        trigger=str(header["trigger"]),
+        device_id=str(header["device_id"]),
+        events=events,
+        metadata=dict(header.get("metadata", {})),
+    )
+    recorded = header.get("events_digest")
+    if recorded is not None and recorded != box.events_digest():
+        raise ValueError(
+            f"{path}: events digest mismatch — dump corrupt or hand-edited "
+            f"(recorded {recorded[:16]}, computed {box.events_digest()[:16]})"
+        )
+    return box
 
 
 def layer_section(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:

@@ -179,6 +179,49 @@ class DeterministicScheduler:
         self._divergences = 0
         #: resource -> deduped {(task, rw, frozenset-of-held-lock-names)}
         self._accesses: Dict[str, Set[Tuple[str, str, frozenset]]] = {}
+        # -- flight-recorder taps (empty lists until a recorder arms) ----
+        #: ``fn(step, task_name, point)`` per scheduling decision.
+        self._decision_listeners: List[Callable[[int, str, str], None]] = []
+        #: ``fn(kind, report)`` on a run-killing trigger (deadlock).
+        self._trigger_listeners: List[Callable[[str, str], None]] = []
+        #: ``fn(task, lock, mode, action)`` on RWLock grant/release.
+        self._lock_listeners: List[Callable[..., None]] = []
+        #: replay-to-anchor: set via :meth:`request_stop`; the loop exits
+        #: at its next decision and teardown aborts the remaining tasks.
+        self._stop_requested = False
+
+    # -- listener taps ----------------------------------------------------
+
+    def add_decision_listener(self, fn: Callable[[int, str, str], None]) -> None:
+        if fn not in self._decision_listeners:
+            self._decision_listeners.append(fn)
+
+    def remove_decision_listener(self, fn: Callable[[int, str, str], None]) -> None:
+        if fn in self._decision_listeners:
+            self._decision_listeners.remove(fn)
+
+    def add_trigger_listener(self, fn: Callable[[str, str], None]) -> None:
+        if fn not in self._trigger_listeners:
+            self._trigger_listeners.append(fn)
+
+    def remove_trigger_listener(self, fn: Callable[[str, str], None]) -> None:
+        if fn in self._trigger_listeners:
+            self._trigger_listeners.remove(fn)
+
+    def add_lock_listener(self, fn: Callable[..., None]) -> None:
+        if fn not in self._lock_listeners:
+            self._lock_listeners.append(fn)
+
+    def remove_lock_listener(self, fn: Callable[..., None]) -> None:
+        if fn in self._lock_listeners:
+            self._lock_listeners.remove(fn)
+
+    def request_stop(self) -> None:
+        """Stop scheduling at the next decision (replay-to-anchor halt).
+
+        Pending tasks are aborted by the normal teardown path, so a run
+        halted at an anchor leaks no threads and no held locks."""
+        self._stop_requested = True
 
     # -- task-side API (called from inside scheduled tasks) --------------
 
@@ -281,6 +324,7 @@ class DeterministicScheduler:
         self._rng = random.Random(seed)
         self._replay = list(replay) if replay is not None else None
         self._replay_index = 0
+        self._stop_requested = False
         self.lock_order = LockOrderChecker()
         self._accesses = {}
         # Each task starts from empty span/actor stacks (a task models a
@@ -363,6 +407,8 @@ class DeterministicScheduler:
     def _loop(self, max_decisions: int) -> None:
         step = 0
         while True:
+            if self._stop_requested:
+                return
             pending = [t for t in self._tasks if not t.done]
             if not pending:
                 return
@@ -390,7 +436,11 @@ class DeterministicScheduler:
                     # deterministic virtual-clock jump.
                     self.clock = min(t.wake_at for t in sleepers)
                     continue
-                raise DeadlockError(self._deadlock_report(pending))
+                report = self._deadlock_report(pending)
+                if self._trigger_listeners:
+                    for listener in self._trigger_listeners:
+                        listener("deadlock", report)
+                raise DeadlockError(report)
             if step >= max_decisions:
                 raise RuntimeError(
                     f"scheduler exceeded {max_decisions} decisions "
@@ -399,6 +449,9 @@ class DeterministicScheduler:
                 )
             chosen = self._choose(runnable)
             self._decisions.append((step, chosen.name, chosen.last_point))
+            if self._decision_listeners:
+                for listener in self._decision_listeners:
+                    listener(step, chosen.name, chosen.last_point)
             step += 1
             self.clock += self.tick_ms
             self._dispatch(chosen)

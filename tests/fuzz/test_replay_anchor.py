@@ -1,0 +1,102 @@
+"""Replay-to-anchor postmortems: the byte-identity acceptance tests.
+
+A counterexample's black box must replay **byte-identically**: re-running
+the recorded minimal scenario with ``halt_at=<anchor seq>`` reproduces
+the exact event prefix (same events digest), halts at the same event,
+and — for interleaved races — reproduces the same scheduler decision
+digest, with the live world still standing for inspection. Both fuzz
+drivers are pinned here, each against its canonical planted
+vulnerability.
+"""
+
+import pytest
+
+from repro.obs.artifacts import load_blackbox
+from repro.fuzz.driver import fuzz_sweep
+from repro.fuzz.driver import replay_to_anchor as replay_sequential
+from repro.fuzz.interleave import interleave_sweep
+from repro.fuzz.interleave import replay_to_anchor as replay_interleaved
+
+pytestmark = [pytest.mark.recorder, pytest.mark.fuzz]
+
+
+@pytest.fixture(scope="module")
+def clipboard_counterexample():
+    report = fuzz_sweep(10, planted="clipboard-isolation")
+    assert report.found, "planted clipboard vuln not found"
+    return report.counterexample
+
+
+class TestSequentialReplay:
+    def test_counterexample_carries_a_sealed_black_box(
+        self, clipboard_counterexample
+    ):
+        box = clipboard_counterexample.blackbox
+        assert box is not None
+        assert box.trigger == "counterexample"
+        assert box.events, "recording is empty"
+        assert box.anchor_seq == box.events[-1].seq
+        summary = clipboard_counterexample.to_dict()["blackbox"]
+        assert summary["anchor_seq"] == box.anchor_seq
+        assert summary["events_digest"] == box.events_digest()
+
+    def test_replays_byte_identically_to_the_anchor(
+        self, clipboard_counterexample
+    ):
+        box = clipboard_counterexample.blackbox
+        halt = replay_sequential(clipboard_counterexample)
+        try:
+            assert halt.event.seq == box.anchor_seq
+            assert halt.event.line() == box.events[-1].line()
+            assert halt.events_digest() == box.events_digest()
+            # The world is live: the device is still inspectable.
+            assert halt.world.device is not None
+            assert halt.recorder.halted_event is halt.event
+        finally:
+            halt.world.close()
+
+    def test_replays_to_an_intermediate_anchor(self, clipboard_counterexample):
+        box = clipboard_counterexample.blackbox
+        assert len(box.events) >= 2, "need at least two events to pick a midpoint"
+        mid = box.events[len(box.events) // 2 - 1].seq
+        halt = replay_sequential(clipboard_counterexample, anchor_seq=mid)
+        try:
+            assert halt.event.seq == mid
+            assert halt.events_digest() == box.events_digest(upto=mid)
+        finally:
+            halt.world.close()
+
+    def test_sweep_writes_a_loadable_dump(self, tmp_path):
+        path = str(tmp_path / "ce.jsonl")
+        report = fuzz_sweep(
+            10, planted="clipboard-isolation", blackbox_path=path
+        )
+        assert report.found
+        box = report.counterexample.blackbox
+        loaded = load_blackbox(path)
+        assert loaded.trigger == "counterexample"
+        assert loaded.anchor_seq == box.anchor_seq
+        assert loaded.events_digest() == box.events_digest()
+
+
+class TestInterleavedReplay:
+    def test_race_black_box_replays_to_anchor_with_same_schedule(self):
+        report = interleave_sweep(
+            n_scenarios=20,
+            schedules_per_scenario=6,
+            planted="binder-guard-race",
+        )
+        assert report.found, "planted binder race not found"
+        counterexample = report.counterexample
+        box = counterexample.blackbox
+        assert box is not None and box.trigger == "counterexample"
+        halt = replay_interleaved(counterexample)
+        try:
+            assert halt.event.seq == box.anchor_seq
+            assert halt.events_digest() == box.events_digest()
+            assert (
+                halt.recorder.schedule_digest()
+                == box.metadata["schedule_digest"]
+            )
+        finally:
+            halt.world.close()
